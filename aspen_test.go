@@ -1,0 +1,87 @@
+package aspen_test
+
+import (
+	"strings"
+	"testing"
+
+	"aspen"
+)
+
+// TestFacadeQuickstart exercises the bare-runtime path of the public API.
+func TestFacadeQuickstart(t *testing.T) {
+	sched := aspen.NewScheduler()
+	rt := aspen.NewRuntime(aspen.RuntimeConfig{Scheduler: sched})
+	defer rt.Close()
+
+	temps := aspen.NewStreamSchema("Temps",
+		aspen.Col("room", aspen.TString), aspen.Col("deg", aspen.TFloat))
+	in, err := rt.RegisterStream("Temps", temps, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := rt.Run(`SELECT t.room, avg(t.deg) AS a FROM Temps t [ROWS 100] GROUP BY t.room`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Push(aspen.NewTuple(1, aspen.Str("L1"), aspen.Float(20)))
+	in.Push(aspen.NewTuple(2, aspen.Str("L1"), aspen.Float(30)))
+	rows, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Vals[1].AsFloat() != 25 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// TestFacadeSmartCIS exercises the demo path of the public API.
+func TestFacadeSmartCIS(t *testing.T) {
+	app, err := aspen.NewSmartCIS(aspen.SmartCISOptions{
+		Building:       aspen.BuildingConfig{Labs: 2, DesksPerLab: 2, HallSpacing: 100},
+		SkipPDUServers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	app.VisitorArrives("bob")
+	g, err := app.Guide("bob", "fedora linux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := aspen.RenderGUI(app, aspen.GUIOptions{
+		Route: &g.Route, Visitor: "bob",
+		Status: aspen.StatusPanel(app, map[string]string{"demo": "ok"}),
+	})
+	if !strings.Contains(frame, "@") || !strings.Contains(frame, "demo: ok") {
+		t.Fatalf("frame = %s", frame)
+	}
+	if aspen.DefaultBuilding().Labs != 4 {
+		t.Fatal("default building")
+	}
+}
+
+// TestFacadeTables covers Relation round trips through the facade.
+func TestFacadeTables(t *testing.T) {
+	rt := aspen.NewRuntime(aspen.RuntimeConfig{})
+	defer rt.Close()
+	s := aspen.NewSchema("Rooms", aspen.Col("name", aspen.TString), aspen.Col("floor", aspen.TInt))
+	rel := aspen.NewRelation(s)
+	rel.MustInsert(aspen.Str("L101"), aspen.Int(1))
+	rel.MustInsert(aspen.Str("L201"), aspen.Int(2))
+	if err := rt.RegisterTable("Rooms", rel); err != nil {
+		t.Fatal(err)
+	}
+	q, err := rt.Run(`SELECT r.name FROM Rooms r WHERE r.floor = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := q.Snapshot()
+	if len(rows) != 1 || rows[0].Vals[0].AsString() != "L201" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if aspen.Null.T != 0 || !aspen.Bool(true).AsBool() {
+		t.Fatal("value re-exports")
+	}
+}

@@ -1,0 +1,43 @@
+// Benchharness regenerates every experiment table (E1–E10) defined in
+// DESIGN.md and recorded in EXPERIMENTS.md.
+//
+//	go run ./cmd/benchharness            # all experiments
+//	go run ./cmd/benchharness E2 E4      # a subset
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"aspen/internal/experiments"
+)
+
+func main() {
+	all := map[string]func() experiments.Table{
+		"E1":  experiments.E1FederatedPartitioning,
+		"E2":  experiments.E2InNetworkJoin,
+		"E3":  experiments.E3JoinPlacement,
+		"E4":  experiments.E4InNetworkAgg,
+		"E5":  experiments.E5RouteLatency,
+		"E6":  experiments.E6IncrementalView,
+		"E7":  experiments.E7StreamThroughput,
+		"E8":  experiments.E8CostUnification,
+		"E9":  experiments.E9EndToEnd,
+		"E10": experiments.E10Alarms,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+
+	want := os.Args[1:]
+	if len(want) == 0 {
+		want = order
+	}
+	for _, id := range want {
+		fn, ok := all[strings.ToUpper(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s)\n", id, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		fmt.Println(fn().Format())
+	}
+}

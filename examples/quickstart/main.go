@@ -1,0 +1,62 @@
+// Quickstart: a bare ASPEN runtime integrating one stream and one table
+// with a continuous windowed join — no sensors, no building, ~40 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aspen"
+)
+
+func main() {
+	rt := aspen.NewRuntime(aspen.RuntimeConfig{})
+	defer rt.Close()
+
+	// A machine-room temperature stream.
+	temps := aspen.NewStreamSchema("Temps",
+		aspen.Col("machine", aspen.TString), aspen.Col("deg", aspen.TFloat))
+	in, err := rt.RegisterStream("Temps", temps, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A static table mapping machines to rooms.
+	rooms := aspen.NewSchema("Placement",
+		aspen.Col("machine", aspen.TString), aspen.Col("room", aspen.TString))
+	rel := aspen.NewRelation(rooms)
+	rel.MustInsert(aspen.Str("srv-1"), aspen.Str("MR1"))
+	rel.MustInsert(aspen.Str("srv-2"), aspen.Str("MR1"))
+	rel.MustInsert(aspen.Str("ws-1"), aspen.Str("L101"))
+	if err := rt.RegisterTable("Placement", rel); err != nil {
+		log.Fatal(err)
+	}
+
+	// Average temperature per room over the last 50 readings, live.
+	q, err := rt.Run(`SELECT p.room, avg(t.deg) AS avgdeg, count(*) AS n
+		FROM Temps t [ROWS 50], Placement p
+		WHERE t.machine = p.machine
+		GROUP BY p.room ORDER BY p.room`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed readings; the result maintains itself incrementally.
+	for i := 0; i < 60; i++ {
+		m := []string{"srv-1", "srv-2", "ws-1"}[i%3]
+		in.Push(aspen.NewTuple(aspen.Time(i+1),
+			aspen.Str(m), aspen.Float(20+float64(i%10))))
+	}
+
+	rows, err := q.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("room      avg(deg)  n")
+	for _, r := range rows {
+		fmt.Printf("%-9s %-9.2f %d\n",
+			r.Vals[0].AsString(), r.Vals[1].AsFloat(), r.Vals[2].AsInt())
+	}
+}

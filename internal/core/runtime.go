@@ -1,0 +1,275 @@
+// Package core is the ASPEN substrate runtime — the paper's primary
+// contribution assembled: it owns the catalog, the federated optimizer, a
+// stream engine, an optional sensor engine, and the simulation clock, and
+// it drives a query through the full Figure 1 lifecycle:
+//
+//	StreamSQL → parser → federated optimizer → {sensor engine, stream engine}
+//
+// Pushed fragments run on the sensor engine in epochs and feed derived
+// stream-engine inputs; database tables load into each deployment's join
+// state; recursive (WITH RECURSIVE) queries are maintained incrementally by
+// internal/views; results materialize for displays.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"aspen/internal/catalog"
+	"aspen/internal/data"
+	"aspen/internal/federation"
+	"aspen/internal/plan"
+	"aspen/internal/sensor"
+	"aspen/internal/sensornet"
+	"aspen/internal/sql"
+	"aspen/internal/stream"
+	"aspen/internal/vtime"
+)
+
+// Config assembles a runtime.
+type Config struct {
+	// Scheduler drives all periodic work (virtual time in simulations).
+	Scheduler *vtime.Scheduler
+	// NodeName names the stream engine node (default "pc1").
+	NodeName string
+	// SensorEngine is optional; without it every query runs all-stream.
+	SensorEngine *sensor.Engine
+	// SensorKinds maps catalog source names to mote sensors.
+	SensorKinds map[string]sensornet.SensorKind
+	// TickPeriod drives window expiry during stream silence (default 1s).
+	TickPeriod time.Duration
+	// RecursionDepth bounds WITH RECURSIVE evaluation (default 12).
+	RecursionDepth int
+}
+
+// Runtime is one assembled ASPEN instance.
+type Runtime struct {
+	Cat    *catalog.Catalog
+	Sched  *vtime.Scheduler
+	Stream *stream.Engine
+
+	fed        *federation.Federator
+	sensors    *sensor.Engine
+	recursion  int
+	tickCancel func()
+}
+
+// New builds a runtime.
+func New(cfg Config) *Runtime {
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = vtime.NewScheduler()
+	}
+	if cfg.NodeName == "" {
+		cfg.NodeName = "pc1"
+	}
+	if cfg.TickPeriod <= 0 {
+		cfg.TickPeriod = time.Second
+	}
+	if cfg.RecursionDepth <= 0 {
+		cfg.RecursionDepth = 12
+	}
+	rt := &Runtime{
+		Cat:       catalog.New(),
+		Sched:     cfg.Scheduler,
+		Stream:    stream.NewEngine(cfg.NodeName, cfg.Scheduler),
+		sensors:   cfg.SensorEngine,
+		recursion: cfg.RecursionDepth,
+	}
+	rt.fed = &federation.Federator{Cat: rt.Cat}
+	if cfg.SensorEngine != nil {
+		kinds := map[string]sensornet.SensorKind{}
+		for k, v := range cfg.SensorKinds {
+			kinds[lower(k)] = v
+		}
+		rt.fed.Sensors = &federation.Binding{Kinds: kinds, Engine: cfg.SensorEngine}
+	}
+	rt.tickCancel = rt.Sched.Every(cfg.TickPeriod, func() {
+		rt.Stream.Advance(rt.Sched.Now())
+	})
+	return rt
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Close stops the runtime's background tick.
+func (rt *Runtime) Close() {
+	if rt.tickCancel != nil {
+		rt.tickCancel()
+		rt.tickCancel = nil
+	}
+}
+
+// Federator exposes the federated optimizer (for plan inspection tools).
+func (rt *Runtime) Federator() *federation.Federator { return rt.fed }
+
+// SensorEngine returns the bound sensor engine, if any.
+func (rt *Runtime) SensorEngine() *sensor.Engine { return rt.sensors }
+
+// Query is a running continuous query.
+type Query struct {
+	SQL string
+	// Deployment carries the materialized result; nil for CREATE VIEW.
+	Deployment *plan.Deployment
+	// Partition records the federated optimizer's decision, when one was
+	// made.
+	Partition *federation.Result
+
+	rt      *Runtime
+	runners []interface{ Stop() }
+}
+
+// Snapshot returns the current result under the query's ORDER BY/LIMIT.
+func (q *Query) Snapshot() ([]data.Tuple, error) {
+	if q.Deployment == nil {
+		return nil, fmt.Errorf("core: statement %q has no result", q.SQL)
+	}
+	return q.Deployment.Snapshot()
+}
+
+// Stop cancels the query's periodic sensor work. (Stream operator state is
+// abandoned; inputs keep fanning out to other queries.)
+func (q *Query) Stop() {
+	for _, r := range q.runners {
+		r.Stop()
+	}
+	q.runners = nil
+}
+
+// Run parses and deploys one StreamSQL statement.
+func (rt *Runtime) Run(sqlText string) (*Query, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sql.CreateView:
+		if err := rt.Cat.AddView(s); err != nil {
+			return nil, err
+		}
+		return &Query{SQL: sqlText, rt: rt}, nil
+	case *sql.SelectStmt:
+		return rt.deploySelect(sqlText, s)
+	case *sql.WithRecursive:
+		return rt.deployRecursive(sqlText, s)
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+// MustRun deploys a statically known statement, panicking on error.
+func (rt *Runtime) MustRun(sqlText string) *Query {
+	q, err := rt.Run(sqlText)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, error) {
+	res, err := rt.fed.Optimize(stmt)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := plan.CompileStream(res.Chosen.StreamPlan, rt.Stream)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{SQL: sqlText, Deployment: dep, Partition: res, rt: rt}
+
+	// Start sensor fragments feeding their inputs.
+	for _, frag := range res.Chosen.Fragments {
+		in, ok := rt.Stream.Input(frag.DerivedName)
+		if !ok {
+			// A ship-all fragment whose raw source the plan did not end up
+			// scanning (e.g. projected away); register so data still flows.
+			var err error
+			in, err = rt.Stream.Register(frag.DerivedName, frag.Schema)
+			if err != nil {
+				return nil, err
+			}
+		}
+		sink := func(t data.Tuple) { in.Push(t) }
+		switch frag.Kind {
+		case federation.FragSelect, federation.FragShipAll:
+			q.runners = append(q.runners, rt.sensors.StartSelect(frag.Select, rt.Sched, sink))
+		case federation.FragJoin:
+			st, err := rt.sensors.PlanJoin(frag.Join)
+			if err != nil {
+				return nil, err
+			}
+			q.runners = append(q.runners, rt.sensors.StartJoin(st, rt.Sched, sink))
+		case federation.FragAggregate:
+			q.runners = append(q.runners, rt.sensors.StartAggregate(frag.Agg, rt.Sched, sink))
+		}
+	}
+	rt.loadTables(dep)
+	return q, nil
+}
+
+// loadTables pushes each scanned table's current rows into the
+// deployment's table heads.
+func (rt *Runtime) loadTables(dep *plan.Deployment) {
+	now := rt.Sched.Now()
+	for _, th := range dep.TableHeads {
+		src, ok := rt.Cat.Source(th.Input)
+		if !ok || src.Table == nil {
+			continue
+		}
+		head := th.Head
+		src.Table.Scan(func(t data.Tuple) bool {
+			t.TS = now
+			t.Op = data.Insert
+			head.Push(t)
+			return true
+		})
+	}
+}
+
+// RegisterTable adds a stored relation to the catalog and the engine.
+func (rt *Runtime) RegisterTable(name string, rel *data.Relation) error {
+	if err := rt.Cat.AddSource(&catalog.Source{
+		Name: name, Kind: catalog.KindTable, Schema: rel.Schema(), Table: rel,
+	}); err != nil {
+		return err
+	}
+	_, err := rt.Stream.Register(name, rel.Schema())
+	return err
+}
+
+// RegisterStream adds a PC-side stream source, returning its engine input.
+func (rt *Runtime) RegisterStream(name string, schema *data.Schema, rate float64) (*stream.Input, error) {
+	kind := catalog.KindStream
+	if err := rt.Cat.AddSource(&catalog.Source{
+		Name: name, Kind: kind, Schema: schema, Rate: rate,
+	}); err != nil {
+		return nil, err
+	}
+	return rt.Stream.Register(name, schema)
+}
+
+// RegisterSensorStream adds a raw sensor source produced by motes carrying
+// the given sensor. Queries over it become candidates for in-network
+// execution.
+func (rt *Runtime) RegisterSensorStream(name string, kind sensornet.SensorKind, rate float64) error {
+	if rt.fed.Sensors == nil {
+		return fmt.Errorf("core: no sensor engine configured")
+	}
+	schema := sensor.ReadingSchema(name)
+	if err := rt.Cat.AddSource(&catalog.Source{
+		Name: name, Kind: catalog.KindSensorStream, Schema: schema, Rate: rate,
+	}); err != nil {
+		return err
+	}
+	rt.fed.Sensors.Kinds[lower(name)] = kind
+	if _, err := rt.Stream.Register(name, schema); err != nil {
+		return err
+	}
+	return nil
+}

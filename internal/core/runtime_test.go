@@ -1,0 +1,313 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"aspen/internal/data"
+	"aspen/internal/federation"
+	"aspen/internal/sensor"
+	"aspen/internal/sensornet"
+	"aspen/internal/vtime"
+)
+
+// newTestRuntime assembles a runtime over a 3x3 desk grid where desk mote 4
+// is occupied (dark chair light).
+func newTestRuntime(t *testing.T) (*Runtime, *vtime.Scheduler) {
+	t.Helper()
+	nw := sensornet.Grid(sensornet.DefaultConfig(), 3, 3, 100, 3,
+		sensornet.SensorTemperature, sensornet.SensorLight)
+	env := sensor.EnvFunc(func(n sensornet.Node, kind sensornet.SensorKind, now vtime.Time) (float64, bool) {
+		switch kind {
+		case sensornet.SensorTemperature:
+			return 20 + float64(n.ID), true
+		case sensornet.SensorLight:
+			if n.ID == 4 {
+				return 3, true
+			}
+			return 70, true
+		}
+		return 0, false
+	})
+	sched := vtime.NewScheduler()
+	rt := New(Config{
+		Scheduler:    sched,
+		SensorEngine: sensor.NewEngine(nw, env),
+	})
+	t.Cleanup(rt.Close)
+	if err := rt.RegisterSensorStream("Temperature", sensornet.SensorTemperature, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterSensorStream("Light", sensornet.SensorLight, 9); err != nil {
+		t.Fatal(err)
+	}
+	return rt, sched
+}
+
+func TestRunFederatedOccupancyQuery(t *testing.T) {
+	rt, sched := newTestRuntime(t)
+	q, err := rt.Run(`SELECT t.room, t.desk, t.value FROM Temperature t, Light l
+		WHERE t.room = l.room AND t.desk = l.desk AND l.value < 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Partition == nil || q.Partition.Chosen == nil {
+		t.Fatal("no partition recorded")
+	}
+	if q.Partition.Chosen.Fragments[0].Kind != federation.FragJoin {
+		t.Fatalf("chosen = %s", q.Partition.Chosen.Desc)
+	}
+	sched.RunUntil(3 * vtime.Second) // a few sensor epochs
+	rows, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no results after epochs")
+	}
+	for _, r := range rows {
+		if r.Vals[2].AsFloat() != 24 { // mote 4's temperature
+			t.Fatalf("row = %v", r)
+		}
+	}
+	q.Stop()
+	before := len(rows)
+	sched.RunUntil(10 * vtime.Second)
+	rows, _ = q.Snapshot()
+	if len(rows) != before {
+		t.Fatal("results changed after Stop")
+	}
+}
+
+func TestRunCreateViewThenQuery(t *testing.T) {
+	rt, sched := newTestRuntime(t)
+	if _, err := rt.Run(`CREATE VIEW Occupied AS (
+		SELECT t.room, t.desk, t.value FROM Temperature t, Light l
+		WHERE t.room = l.room AND t.desk = l.desk AND l.value < 10)`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := rt.Run(`SELECT o.room, o.value FROM Occupied o`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(2 * vtime.Second)
+	rows, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("view query returned nothing")
+	}
+	if rows[0].Vals[1].AsFloat() != 24 {
+		t.Fatalf("row = %v", rows[0])
+	}
+}
+
+func TestRunWithTables(t *testing.T) {
+	rt, sched := newTestRuntime(t)
+	mach := data.NewSchema("Machines",
+		data.Col("name", data.TString), data.Col("room", data.TString), data.Col("desk", data.TInt))
+	rel := data.NewRelation(mach)
+	rel.MustInsert(data.Str("ws-a"), data.Str("L2"), data.Int(2)) // desk of mote 4
+	rel.MustInsert(data.Str("ws-b"), data.Str("L1"), data.Int(1))
+	if err := rt.RegisterTable("Machines", rel); err != nil {
+		t.Fatal(err)
+	}
+	q, err := rt.Run(`SELECT m.name, t.value FROM Temperature t, Light l, Machines m
+		WHERE t.room = l.room AND t.desk = l.desk AND l.value < 10
+		AND m.room = t.room AND m.desk = t.desk`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(2 * vtime.Second)
+	rows, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no joined rows")
+	}
+	if rows[0].Vals[0].AsString() != "ws-a" {
+		t.Fatalf("row = %v", rows[0])
+	}
+}
+
+func TestRunRecursiveRouting(t *testing.T) {
+	rt, _ := newTestRuntime(t)
+	edges := data.NewSchema("RoutingPoints",
+		data.Col("src", data.TString), data.Col("dst", data.TString), data.Col("dist", data.TFloat))
+	rel := data.NewRelation(edges)
+	add := func(a, b string, d float64) {
+		rel.MustInsert(data.Str(a), data.Str(b), data.Float(d))
+	}
+	add("lobby", "hall1", 40)
+	add("hall1", "hall2", 35)
+	add("hall2", "L102", 20)
+	add("hall1", "L101", 25)
+	if err := rt.RegisterTable("RoutingPoints", rel); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := rt.Run(`WITH RECURSIVE paths(src, dst, dist) AS (
+		SELECT r.src, r.dst, r.dist FROM RoutingPoints r
+		UNION ALL
+		SELECT p.src, r.dst, p.dist + r.dist FROM paths p, RoutingPoints r WHERE p.dst = r.src
+	) SELECT src, dst, dist FROM paths WHERE src = 'lobby' ORDER BY dist`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lobby reaches hall1(40), L101(65), hall2(75), L102(95)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].Vals[1].AsString() != "hall1" || rows[0].Vals[2].AsFloat() != 40 {
+		t.Fatalf("first = %v", rows[0])
+	}
+	if rows[3].Vals[1].AsString() != "L102" || rows[3].Vals[2].AsFloat() != 95 {
+		t.Fatalf("last = %v", rows[3])
+	}
+
+	// Incremental maintenance: a corridor closes, routes through it vanish.
+	in, _ := rt.Stream.Input("RoutingPoints")
+	in.Push(data.NewTuple(vtime.Second, data.Str("hall1"), data.Str("hall2"), data.Float(35)).Negate())
+	rows, _ = q.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("after edge delete: %v", rows)
+	}
+	for _, r := range rows {
+		if r.Vals[1].AsString() == "L102" {
+			t.Fatalf("stale route to L102: %v", rows)
+		}
+	}
+}
+
+func TestRunRecursiveErrors(t *testing.T) {
+	rt, _ := newTestRuntime(t)
+	edges := data.NewSchema("E", data.Col("src", data.TString), data.Col("dst", data.TString))
+	if err := rt.RegisterTable("E", data.NewRelation(edges)); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		// base over two sources
+		`WITH RECURSIVE p(a,b) AS (SELECT e.src, e.dst FROM E e, E f UNION ALL
+			SELECT p.a, e.dst FROM p, E e WHERE p.b = e.src) SELECT a FROM p`,
+		// rule missing the view
+		`WITH RECURSIVE p(a,b) AS (SELECT e.src, e.dst FROM E e UNION ALL
+			SELECT e.src, f.dst FROM E e, E f WHERE e.dst = f.src) SELECT a FROM p`,
+		// no equi-join in the rule
+		`WITH RECURSIVE p(a,b) AS (SELECT e.src, e.dst FROM E e UNION ALL
+			SELECT p.a, e.dst FROM p, E e WHERE p.b <> e.src) SELECT a FROM p`,
+		// arity mismatch in the rule projection
+		`WITH RECURSIVE p(a,b) AS (SELECT e.src, e.dst FROM E e UNION ALL
+			SELECT p.a FROM p, E e WHERE p.b = e.src) SELECT a FROM p`,
+		// unknown base source
+		`WITH RECURSIVE p(a,b) AS (SELECT z.src, z.dst FROM ZZZ z UNION ALL
+			SELECT p.a, e.dst FROM p, E e WHERE p.b = e.src) SELECT a FROM p`,
+		// star base
+		`WITH RECURSIVE p(a,b) AS (SELECT * FROM E e UNION ALL
+			SELECT p.a, e.dst FROM p, E e WHERE p.b = e.src) SELECT a FROM p`,
+	}
+	for _, src := range bad {
+		if _, err := rt.Run(src); err == nil {
+			t.Errorf("Run(%q) should fail", src)
+		}
+	}
+}
+
+func TestRunParseAndPlanErrors(t *testing.T) {
+	rt, _ := newTestRuntime(t)
+	if _, err := rt.Run(`SELEC nonsense`); err == nil {
+		t.Fatal("parse error accepted")
+	}
+	if _, err := rt.Run(`SELECT x.a FROM NoSuch x`); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, err := rt.Run(`CREATE VIEW V AS (SELECT t.room FROM Temperature t)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(`CREATE VIEW V AS (SELECT t.room FROM Temperature t)`); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+	// CREATE VIEW has no snapshot
+	q := rt.MustRun(`CREATE VIEW W AS (SELECT t.room FROM Temperature t)`)
+	if _, err := q.Snapshot(); err == nil {
+		t.Fatal("view snapshot should error")
+	}
+}
+
+func TestMustRunPanics(t *testing.T) {
+	rt, _ := newTestRuntime(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.MustRun("garbage")
+}
+
+func TestRegisterErrors(t *testing.T) {
+	rt, _ := newTestRuntime(t)
+	if err := rt.RegisterSensorStream("Temperature", sensornet.SensorTemperature, 1); err == nil {
+		t.Fatal("duplicate sensor stream accepted")
+	}
+	s := data.NewSchema("S", data.Col("a", data.TInt))
+	if _, err := rt.RegisterStream("Temperature", s, 1); err == nil {
+		t.Fatal("name clash accepted")
+	}
+	noSensors := New(Config{})
+	defer noSensors.Close()
+	if err := noSensors.RegisterSensorStream("X", sensornet.SensorLight, 1); err == nil {
+		t.Fatal("sensor stream without engine accepted")
+	}
+}
+
+func TestWindowedQueryExpiresViaTicker(t *testing.T) {
+	rt, sched := newTestRuntime(t)
+	in, err := rt.RegisterStream("Pulse", pulseSchema(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rt.MustRun(`SELECT p.v FROM Pulse p [RANGE 5 SECONDS]`)
+	in.Push(data.NewTuple(sched.Now().Add(1e9), data.Int(1)))
+	sched.RunUntil(2 * vtime.Second)
+	if rows, _ := q.Snapshot(); len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// after the window passes, the runtime's tick must expire the tuple
+	sched.RunUntil(20 * vtime.Second)
+	if rows, _ := q.Snapshot(); len(rows) != 0 {
+		t.Fatalf("window did not expire: %v", rows)
+	}
+}
+
+func pulseSchema() *data.Schema {
+	s := data.NewSchema("Pulse", data.Col("v", data.TInt))
+	s.IsStream = true
+	return s
+}
+
+func TestQueryOutputToDisplay(t *testing.T) {
+	rt, sched := newTestRuntime(t)
+	rt.MustRun(`SELECT t.room, t.value FROM Temperature t WHERE t.value > 26 OUTPUT TO lobbyboard`)
+	sched.RunUntil(2 * vtime.Second)
+	disp := rt.Stream.Display("lobbyboard", nil)
+	if disp.Len() == 0 {
+		t.Fatal("display never updated")
+	}
+	if !contains(rt.Stream.Displays(), "lobbyboard") {
+		t.Fatal("display not listed")
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if strings.EqualFold(x, want) {
+			return true
+		}
+	}
+	return false
+}

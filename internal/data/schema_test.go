@@ -1,0 +1,188 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+func seatSensors() *Schema {
+	return NewSchema("ss",
+		Col("room", TString),
+		Col("desk", TInt),
+		Col("status", TString),
+	)
+}
+
+func TestSchemaColIndex(t *testing.T) {
+	s := seatSensors()
+	if i := s.MustColIndex("desk"); i != 1 {
+		t.Fatalf("desk index = %d", i)
+	}
+	if i := s.MustColIndex("ss.room"); i != 0 {
+		t.Fatalf("ss.room index = %d", i)
+	}
+	if _, err := s.ColIndex("nope"); err == nil {
+		t.Fatal("expected error for missing column")
+	}
+	if _, err := s.ColIndex("other.room"); err == nil {
+		t.Fatal("expected error for wrong qualifier")
+	}
+	// case-insensitive resolution
+	if i := s.MustColIndex("SS.ROOM"); i != 0 {
+		t.Fatalf("case-insensitive index = %d", i)
+	}
+}
+
+func TestSchemaAmbiguity(t *testing.T) {
+	j := seatSensors().Concat(NewSchema("sa", Col("room", TString), Col("status", TString)))
+	if _, err := j.ColIndex("room"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("want ambiguity error, got %v", err)
+	}
+	if i := j.MustColIndex("sa.room"); i != 3 {
+		t.Fatalf("sa.room = %d", i)
+	}
+	if i := j.MustColIndex("desk"); i != 1 {
+		t.Fatalf("desk still unambiguous: %d", i)
+	}
+}
+
+func TestSchemaRenameAndProject(t *testing.T) {
+	s := seatSensors().Rename("x")
+	if s.Cols[0].Rel != "x" || s.Name != "x" {
+		t.Fatalf("rename: %v", s)
+	}
+	p := s.Project([]int{2, 0})
+	if p.Arity() != 2 || p.Cols[0].Name != "status" || p.Cols[1].Name != "room" {
+		t.Fatalf("project: %v", p)
+	}
+}
+
+func TestSchemaEqualAndString(t *testing.T) {
+	a, b := seatSensors(), seatSensors()
+	if !a.Equal(b) {
+		t.Fatal("identical schemas not Equal")
+	}
+	b.Cols[0].Type = TInt
+	if a.Equal(b) {
+		t.Fatal("different schemas Equal")
+	}
+	b2 := seatSensors()
+	b2.IsStream = true
+	if a.Equal(b2) {
+		t.Fatal("stream flag ignored by Equal")
+	}
+	if !strings.Contains(b2.String(), "[stream]") {
+		t.Fatalf("String misses stream flag: %s", b2)
+	}
+	if !strings.Contains(a.String(), "ss.room STRING") {
+		t.Fatalf("String = %s", a)
+	}
+}
+
+func TestSplitQualified(t *testing.T) {
+	if r, n := SplitQualified("a.b"); r != "a" || n != "b" {
+		t.Fatalf("got %q %q", r, n)
+	}
+	if r, n := SplitQualified("b"); r != "" || n != "b" {
+		t.Fatalf("got %q %q", r, n)
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	a := NewTuple(5, Int(1), Str("x"))
+	b := a.Clone()
+	b.Vals[0] = Int(9)
+	if a.Vals[0].AsInt() != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	c := a.Concat(NewTuple(9, Bool(true)))
+	if len(c.Vals) != 3 || c.TS != 9 {
+		t.Fatalf("Concat = %v", c)
+	}
+	n := a.Negate()
+	if n.Op != Delete || a.Negate().Negate().Op != Insert {
+		t.Fatal("Negate broken")
+	}
+	p := c.Project([]int{2, 0})
+	if !p.Vals[0].AsBool() || p.Vals[1].AsInt() != 1 {
+		t.Fatalf("Project = %v", p)
+	}
+	if p.String() == "" || n.String()[0] != '-' {
+		t.Fatal("String rendering broken")
+	}
+}
+
+func TestTupleDeltaPolarity(t *testing.T) {
+	plus := NewTuple(0, Int(1))
+	minus := plus.Negate()
+	if plus.Concat(minus).Op != Delete {
+		t.Fatal("(+)(-) should be -")
+	}
+	if minus.Concat(plus).Op != Delete {
+		t.Fatal("(-)(+) should be -")
+	}
+	if plus.Concat(plus).Op != Insert {
+		t.Fatal("(+)(+) should be +")
+	}
+	if minus.Concat(minus).Op != Insert {
+		t.Fatal("(-)(-) should be +")
+	}
+}
+
+func TestTupleKeyOn(t *testing.T) {
+	a := NewTuple(0, Int(1), Str("x"), Float(2))
+	b := NewTuple(99, Int(1), Str("y"), Float(2))
+	if a.KeyOn([]int{0, 2}) != b.KeyOn([]int{0, 2}) {
+		t.Fatal("KeyOn should ignore excluded columns and TS")
+	}
+	if a.Key() == b.Key() {
+		t.Fatal("full keys should differ")
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation(seatSensors())
+	r.MustInsert(Str("L101"), Int(1), Str("free"))
+	r.MustInsert(Str("L101"), Int(2), Str("busy"))
+	r.MustInsert(Str("L102"), Int(1), Str("free"))
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if err := r.Insert(NewTuple(0, Int(1))); err == nil {
+		t.Fatal("arity violation accepted")
+	}
+	if err := r.Insert(NewTuple(0, Int(1), Int(2), Int(3))); err == nil {
+		t.Fatal("type violation accepted")
+	}
+	count := 0
+	r.Scan(func(tu Tuple) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("Scan early-exit failed, count = %d", count)
+	}
+	if n := r.Delete(NewTuple(0, Str("L101"), Int(2), Str("busy"))); n != 1 {
+		t.Fatalf("Delete = %d", n)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len after delete = %d", r.Len())
+	}
+	rows := r.SortedRows()
+	if len(rows) != 2 || rows[0].Vals[0].AsString() != "L101" {
+		t.Fatalf("SortedRows = %v", rows)
+	}
+	r.Clear()
+	if r.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestRelationScanIsolation(t *testing.T) {
+	r := NewRelation(NewSchema("t", Col("x", TInt)))
+	r.MustInsert(Int(7))
+	r.Scan(func(tu Tuple) bool {
+		tu.Vals[0] = Int(99) // mutating the copy must not affect the relation
+		return true
+	})
+	if r.Rows()[0].Vals[0].AsInt() != 7 {
+		t.Fatal("Scan leaked internal storage")
+	}
+}

@@ -1,0 +1,250 @@
+// Package data defines the relational data model shared by every ASPEN
+// engine: typed values, schemas, and timestamped tuples.
+//
+// Tuples carry an insert/delete polarity so the same operator pipeline can
+// process both base streams and the +/- deltas produced by incremental view
+// maintenance (see internal/views).
+package data
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"aspen/internal/vtime"
+)
+
+// Type enumerates the value types of the StreamSQL type system.
+type Type uint8
+
+// Value types.
+const (
+	TNull Type = iota
+	TInt
+	TFloat
+	TString
+	TBool
+	TTime
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TNull:
+		return "NULL"
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "STRING"
+	case TBool:
+		return "BOOL"
+	case TTime:
+		return "TIME"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Numeric reports whether the type participates in arithmetic.
+func (t Type) Numeric() bool { return t == TInt || t == TFloat }
+
+// Value is a tagged union holding one StreamSQL value. The zero Value is
+// NULL. Values are comparable with == only when both operands were produced
+// by the same constructor (no numeric coercion); use Equal or Compare for
+// SQL semantics.
+type Value struct {
+	T Type
+	I int64 // TInt payload; TBool as 0/1; TTime as nanoseconds
+	F float64
+	S string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{T: TInt, I: i} }
+
+// Float returns a floating point value.
+func Float(f float64) Value { return Value{T: TFloat, F: f} }
+
+// String_ returns a string value. (Named with a trailing underscore because
+// Value already has a String method.)
+func String_(s string) Value { return Value{T: TString, S: s} }
+
+// Str is shorthand for String_.
+func Str(s string) Value { return String_(s) }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{T: TBool, I: 1}
+	}
+	return Value{T: TBool}
+}
+
+// TimeVal returns a time value.
+func TimeVal(t vtime.Time) Value { return Value{T: TTime, I: int64(t)} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.T == TNull }
+
+// AsInt returns the value as int64, coercing floats by truncation.
+func (v Value) AsInt() int64 {
+	switch v.T {
+	case TInt, TBool, TTime:
+		return v.I
+	case TFloat:
+		return int64(v.F)
+	}
+	return 0
+}
+
+// AsFloat returns the value as float64, coercing integers.
+func (v Value) AsFloat() float64 {
+	switch v.T {
+	case TInt, TBool, TTime:
+		return float64(v.I)
+	case TFloat:
+		return v.F
+	}
+	return 0
+}
+
+// AsBool returns the truth value; NULL is false.
+func (v Value) AsBool() bool {
+	switch v.T {
+	case TBool, TInt, TTime:
+		return v.I != 0
+	case TFloat:
+		return v.F != 0
+	case TString:
+		return v.S != ""
+	}
+	return false
+}
+
+// AsString returns the string payload for TString and a formatted rendering
+// otherwise.
+func (v Value) AsString() string {
+	if v.T == TString {
+		return v.S
+	}
+	return v.String()
+}
+
+// AsTime returns the value as a vtime.Time.
+func (v Value) AsTime() vtime.Time { return vtime.Time(v.I) }
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.T {
+	case TNull:
+		return "NULL"
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TString:
+		return v.S
+	case TBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case TTime:
+		return vtime.Time(v.I).String()
+	}
+	return "?"
+}
+
+// Equal reports SQL equality with numeric coercion. NULL equals nothing,
+// including NULL (use IsNull to test for NULL).
+func (v Value) Equal(o Value) bool {
+	c, ok := v.Compare(o)
+	return ok && c == 0
+}
+
+// Compare orders two values: -1, 0, +1. The second result is false when the
+// values are incomparable (NULL involved, or mixed non-numeric types).
+func (v Value) Compare(o Value) (int, bool) {
+	if v.T == TNull || o.T == TNull {
+		return 0, false
+	}
+	if v.T.Numeric() && o.T.Numeric() {
+		if v.T == TInt && o.T == TInt {
+			return cmpInt(v.I, o.I), true
+		}
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		}
+		return 0, true
+	}
+	if v.T != o.T {
+		return 0, false
+	}
+	switch v.T {
+	case TString:
+		return strings.Compare(v.S, o.S), true
+	case TBool, TTime:
+		return cmpInt(v.I, o.I), true
+	}
+	return 0, false
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// AppendKey appends a canonical, collision-free encoding of the value to buf,
+// for use as a hash/group key. Numerically equal INT and FLOAT values encode
+// identically so that grouping follows SQL equality.
+func (v Value) AppendKey(buf []byte) []byte {
+	switch v.T {
+	case TNull:
+		return append(buf, 'n')
+	case TInt:
+		// Encode integral values in a float-compatible way when exact.
+		if f := float64(v.I); int64(f) == v.I {
+			buf = append(buf, 'f')
+			return strconv.AppendFloat(buf, f, 'b', -1, 64)
+		}
+		buf = append(buf, 'i')
+		return strconv.AppendInt(buf, v.I, 36)
+	case TFloat:
+		if i := int64(v.F); float64(i) == v.F {
+			buf = append(buf, 'f')
+			return strconv.AppendFloat(buf, v.F, 'b', -1, 64)
+		}
+		buf = append(buf, 'f')
+		return strconv.AppendFloat(buf, v.F, 'b', -1, 64)
+	case TString:
+		buf = append(buf, 's')
+		buf = strconv.AppendInt(buf, int64(len(v.S)), 10)
+		buf = append(buf, ':')
+		return append(buf, v.S...)
+	case TBool:
+		if v.I != 0 {
+			return append(buf, 'T')
+		}
+		return append(buf, 'F')
+	case TTime:
+		buf = append(buf, 't')
+		return strconv.AppendInt(buf, v.I, 36)
+	}
+	return append(buf, '?')
+}
+
+// Key returns the canonical key encoding as a string.
+func (v Value) Key() string { return string(v.AppendKey(nil)) }

@@ -1,0 +1,292 @@
+package expr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aspen/internal/data"
+)
+
+func testSchema() *data.Schema {
+	return data.NewSchema("m",
+		data.Col("id", data.TInt),
+		data.Col("temp", data.TFloat),
+		data.Col("software", data.TString),
+		data.Col("up", data.TBool),
+	)
+}
+
+func row(id int64, temp float64, sw string, up bool) data.Tuple {
+	return data.NewTuple(0, data.Int(id), data.Float(temp), data.Str(sw), data.Bool(up))
+}
+
+func evalOn(t *testing.T, e Expr, tu data.Tuple) data.Value {
+	t.Helper()
+	c, err := Bind(e, testSchema())
+	if err != nil {
+		t.Fatalf("Bind(%s): %v", e, err)
+	}
+	return c.Eval(tu)
+}
+
+func TestArithmetic(t *testing.T) {
+	tu := row(10, 2.5, "fedora", true)
+	cases := []struct {
+		e    Expr
+		want data.Value
+	}{
+		{Bin{OpAdd, C("id"), L(5)}, data.Int(15)},
+		{Bin{OpSub, C("id"), L(3)}, data.Int(7)},
+		{Bin{OpMul, C("id"), C("temp")}, data.Float(25)},
+		{Bin{OpDiv, C("id"), L(4)}, data.Float(2.5)},
+		{Bin{OpMod, C("id"), L(3)}, data.Int(1)},
+		{Bin{OpDiv, C("id"), L(0)}, data.Null},
+		{Bin{OpMod, C("id"), L(0)}, data.Null},
+		{Un{OpNeg, C("temp")}, data.Float(-2.5)},
+		{Un{OpNeg, C("id")}, data.Int(-10)},
+		{Bin{OpAdd, C("software"), L("-linux")}, data.Str("fedora-linux")},
+	}
+	for _, c := range cases {
+		got := evalOn(t, c.e, tu)
+		if got != c.want && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tu := row(10, 2.5, "fedora", true)
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Eq(C("id"), L(10)), true},
+		{Bin{OpNe, C("id"), L(10)}, false},
+		{Bin{OpLt, C("temp"), L(3.0)}, true},
+		{Bin{OpLe, C("temp"), L(2.5)}, true},
+		{Bin{OpGt, C("id"), L(9)}, true},
+		{Bin{OpGe, C("id"), L(11)}, false},
+		{Eq(C("id"), C("temp")), false},
+		{Eq(C("software"), L("fedora")), true},
+		{Bin{OpLike, C("software"), L("fed%")}, true},
+		{Bin{OpLike, C("software"), L("%ora")}, true},
+		{Bin{OpLike, C("software"), L("f_dora")}, true},
+		{Bin{OpLike, C("software"), L("ubuntu%")}, false},
+	}
+	for _, c := range cases {
+		got := evalOn(t, c.e, tu)
+		if got.AsBool() != c.want {
+			t.Errorf("%s = %v, want %t", c.e, got, c.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	s := data.NewSchema("t", data.Col("a", data.TBool), data.Col("b", data.TBool))
+	tv := func(b *bool) data.Value {
+		if b == nil {
+			return data.Null
+		}
+		return data.Bool(*b)
+	}
+	T, F := true, false
+	type tri = *bool
+	null := tri(nil)
+	andTable := []struct{ a, b, want tri }{
+		{&T, &T, &T}, {&T, &F, &F}, {&F, &T, &F}, {&F, &F, &F},
+		{&T, null, null}, {null, &T, null}, {&F, null, &F}, {null, &F, &F}, {null, null, null},
+	}
+	for _, c := range andTable {
+		cmp := MustBind(Bin{OpAnd, C("a"), C("b")}, s)
+		got := cmp.Eval(data.NewTuple(0, tv(c.a), tv(c.b)))
+		if c.want == null {
+			if !got.IsNull() {
+				t.Errorf("AND(%v,%v) = %v, want NULL", tv(c.a), tv(c.b), got)
+			}
+		} else if got.IsNull() || got.AsBool() != *c.want {
+			t.Errorf("AND(%v,%v) = %v, want %v", tv(c.a), tv(c.b), got, *c.want)
+		}
+	}
+	orTable := []struct{ a, b, want tri }{
+		{&T, &T, &T}, {&T, &F, &T}, {&F, &T, &T}, {&F, &F, &F},
+		{&T, null, &T}, {null, &T, &T}, {&F, null, null}, {null, &F, null}, {null, null, null},
+	}
+	for _, c := range orTable {
+		cmp := MustBind(Bin{OpOr, C("a"), C("b")}, s)
+		got := cmp.Eval(data.NewTuple(0, tv(c.a), tv(c.b)))
+		if c.want == null {
+			if !got.IsNull() {
+				t.Errorf("OR(%v,%v) = %v, want NULL", tv(c.a), tv(c.b), got)
+			}
+		} else if got.IsNull() || got.AsBool() != *c.want {
+			t.Errorf("OR(%v,%v) = %v, want %v", tv(c.a), tv(c.b), got, *c.want)
+		}
+	}
+	// NOT NULL is NULL
+	if got := MustBind(Un{OpNot, C("a")}, s).Eval(data.NewTuple(0, data.Null, data.Null)); !got.IsNull() {
+		t.Errorf("NOT NULL = %v", got)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	s := data.NewSchema("t", data.Col("a", data.TInt))
+	if !MustBind(IsNull{X: C("a")}, s).EvalBool(data.NewTuple(0, data.Null)) {
+		t.Error("NULL IS NULL should be true")
+	}
+	if MustBind(IsNull{X: C("a")}, s).EvalBool(data.NewTuple(0, data.Int(1))) {
+		t.Error("1 IS NULL should be false")
+	}
+	if !MustBind(IsNull{X: C("a"), Neg: true}, s).EvalBool(data.NewTuple(0, data.Int(1))) {
+		t.Error("1 IS NOT NULL should be true")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	s := testSchema()
+	bad := []Expr{
+		C("nonexistent"),
+		Bin{OpAdd, C("software"), L(1)},
+		Bin{OpLike, C("id"), L("x")},
+		Un{OpNeg, C("software")},
+		Eq(C("software"), C("id")),
+		Call{Name: "nosuchfn", Args: []Expr{L(1)}},
+		Call{Name: "abs", Args: []Expr{L(1), L(2)}},
+		Call{Name: "abs", Args: []Expr{C("software")}},
+		Call{Name: "coalesce"},
+	}
+	for _, e := range bad {
+		if _, err := Bind(e, s); err == nil {
+			t.Errorf("Bind(%s) should fail", e)
+		}
+	}
+}
+
+func TestCalls(t *testing.T) {
+	tu := row(-7, 2.25, "Fedora Linux", true)
+	cases := []struct {
+		e    Expr
+		want data.Value
+	}{
+		{Call{Name: "abs", Args: []Expr{C("id")}}, data.Int(7)},
+		{Call{Name: "abs", Args: []Expr{Un{OpNeg, C("temp")}}}, data.Float(2.25)},
+		{Call{Name: "lower", Args: []Expr{C("software")}}, data.Str("fedora linux")},
+		{Call{Name: "upper", Args: []Expr{C("software")}}, data.Str("FEDORA LINUX")},
+		{Call{Name: "length", Args: []Expr{C("software")}}, data.Str("12")},
+		{Call{Name: "sqrt", Args: []Expr{C("temp")}}, data.Float(1.5)},
+		{Call{Name: "coalesce", Args: []Expr{L("x"), L("y")}}, data.Str("x")},
+		{Call{Name: "dist", Args: []Expr{L(0.0), L(0.0), L(3.0), L(4.0)}}, data.Float(5)},
+	}
+	for _, c := range cases {
+		got := evalOn(t, c.e, tu)
+		if got.String() != c.want.String() {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"fedora", "fedora", true},
+		{"fedora", "FEDORA", true}, // case-insensitive
+		{"fedora", "fed%", true},
+		{"fedora", "%ora", true},
+		{"fedora", "%ed%", true},
+		{"fedora", "%", true},
+		{"", "%", true},
+		{"", "", true},
+		{"", "_", false},
+		{"a", "_", true},
+		{"fedora", "f_dora", true},
+		{"fedora", "f__ora", true},
+		{"fedora", "f___ora", false},
+		{"fedora", "fedora%", true},
+		{"fedora", "%fedora", true},
+		{"abc", "a%b%c", true},
+		{"abc", "a%c%b", false},
+		{"100%", `100\%`, true},
+		{"100x", `100\%`, false},
+		{"a_b", `a\_b`, true},
+		{"axb", `a\_b`, false},
+		{"word, fedora, emacs", "%fedora%", true},
+		{"word, ubuntu, emacs", "%fedora%", false},
+	}
+	for _, c := range cases {
+		if got := Like(c.s, c.p); got != c.want {
+			t.Errorf("Like(%q, %q) = %t, want %t", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// Property: Like(s, s) for plain strings without metacharacters.
+func TestLikeReflexive(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, `%_\`) {
+			return true
+		}
+		return Like(s, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any string matches a pattern made of its characters with %
+// inserted at random positions.
+func TestLikeWithInsertedWildcards(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	alpha := "abcdefgh"
+	for n := 0; n < 500; n++ {
+		sLen := r.Intn(12)
+		var sb strings.Builder
+		for i := 0; i < sLen; i++ {
+			sb.WriteByte(alpha[r.Intn(len(alpha))])
+		}
+		s := sb.String()
+		var pb strings.Builder
+		for i := 0; i <= len(s); i++ {
+			if r.Intn(3) == 0 {
+				pb.WriteByte('%')
+			}
+			if i < len(s) {
+				pb.WriteByte(s[i])
+			}
+		}
+		if !Like(s, pb.String()) {
+			t.Fatalf("Like(%q, %q) = false", s, pb.String())
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := And(
+		Eq(C("sa.room"), C("ss.room")),
+		Bin{OpLike, C("p.needed"), L("it's")},
+	)
+	got := e.String()
+	if !strings.Contains(got, "sa.room = ss.room") || !strings.Contains(got, "'it''s'") {
+		t.Errorf("String = %q", got)
+	}
+	if (IsNull{X: C("a"), Neg: true}).String() != "(a IS NOT NULL)" {
+		t.Error("IsNull string")
+	}
+	if (Call{Name: "abs", Args: []Expr{C("x")}}).String() != "ABS(x)" {
+		t.Error("Call string")
+	}
+	if (Un{OpNeg, C("x")}).String() != "(-x)" {
+		t.Error("Neg string")
+	}
+}
+
+func TestLPanicsOnUnsupported(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	L(struct{}{})
+}

@@ -1,0 +1,63 @@
+package expr
+
+// Like reports whether s matches the SQL LIKE pattern: '%' matches any
+// run of characters (including empty), '_' matches exactly one character,
+// and '\' escapes the next pattern character. Matching is case-insensitive,
+// matching the paper's capability queries ("p.needed like m.software"),
+// where software lists are entered by hand.
+func Like(s, pattern string) bool {
+	return likeMatch(foldASCII(s), foldASCII(pattern))
+}
+
+// likeMatch implements iterative wildcard matching with backtracking over
+// the last '%' seen; O(len(s)*len(p)) worst case, linear in practice.
+func likeMatch(s, p string) bool {
+	var si, pi int
+	star, ss := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && p[pi] == '%':
+			star, ss = pi, si
+			pi++
+		case pi < len(p) && (p[pi] == '_' || patChar(p, pi) == s[si]):
+			if p[pi] == '\\' {
+				pi++
+			}
+			pi++
+			si++
+		case star >= 0:
+			ss++
+			si, pi = ss, star+1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// patChar returns the literal character at pi, looking through an escape.
+func patChar(p string, pi int) byte {
+	if p[pi] == '\\' && pi+1 < len(p) {
+		return p[pi+1]
+	}
+	return p[pi]
+}
+
+// foldASCII lowercases ASCII letters without allocating when already lower.
+func foldASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			b := []byte(s)
+			for j := i; j < len(b); j++ {
+				if c := b[j]; 'A' <= c && c <= 'Z' {
+					b[j] = c + 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package gui
+
+import (
+	"strings"
+	"testing"
+
+	"aspen/internal/building"
+	"aspen/internal/smartcis"
+)
+
+func demoApp(t *testing.T) *smartcis.App {
+	t.Helper()
+	app, err := smartcis.New(smartcis.Options{
+		Building:       building.GenConfig{Labs: 2, DesksPerLab: 3, HallSpacing: 100, Offices: 1},
+		Seed:           7,
+		SkipPDUServers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(app.Close)
+	return app
+}
+
+func TestRenderShowsRoomsAndDesks(t *testing.T) {
+	app := demoApp(t)
+	out := Render(app, Options{})
+	for _, want := range []string{"L101", "L102", "O201", "MR1", "lobby"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatalf("no free desks drawn:\n%s", out)
+	}
+	if strings.Count(out, "░") > 1 { // the legend itself shows one
+		t.Fatalf("shading in an all-open building:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Fatalf("hallway spine missing:\n%s", out)
+	}
+}
+
+func TestRenderClosedRoomShadedAndOccupiedDesks(t *testing.T) {
+	app := demoApp(t)
+	app.SetRoomLights("L102", false)
+	app.SetDeskOccupied("L101", 1, true)
+	out := Render(app, Options{})
+	if !strings.Contains(out, "L102 (closed)") {
+		t.Fatalf("closed label missing:\n%s", out)
+	}
+	if strings.Count(out, "░") <= 1 {
+		t.Fatalf("closed room not shaded:\n%s", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatalf("occupied desk not drawn:\n%s", out)
+	}
+}
+
+func TestRenderRouteAndVisitor(t *testing.T) {
+	app := demoApp(t)
+	app.VisitorArrives("alice")
+	if err := app.MoveVisitorTo("alice", "hall1"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := app.Guide("alice", "fedora linux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(app, Options{Route: &g.Route, Visitor: "alice"})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("route not plotted:\n%s", out)
+	}
+	if !strings.Contains(out, "@") {
+		t.Fatalf("visitor not drawn:\n%s", out)
+	}
+	if !strings.Contains(out, "!") {
+		t.Fatalf("destination not marked:\n%s", out)
+	}
+}
+
+func TestRenderStatusPanel(t *testing.T) {
+	app := demoApp(t)
+	status := StatusPanel(app, map[string]string{
+		"occupancy": "push in-network-join over {t, l}",
+	})
+	out := Render(app, Options{Status: status})
+	if !strings.Contains(out, "motes:") || !strings.Contains(out, "occupancy: push in-network-join") {
+		t.Fatalf("status panel missing:\n%s", out)
+	}
+	if !strings.Contains(out, "min mote battery") {
+		t.Fatalf("battery line missing:\n%s", out)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	app := demoApp(t)
+	a := Render(app, Options{})
+	b := Render(app, Options{})
+	if a != b {
+		t.Fatal("rendering is not deterministic")
+	}
+}
+
+func TestCanvasBoundsSafe(t *testing.T) {
+	c := newCanvas(4, 3)
+	c.set(-1, -1, 'x')
+	c.set(99, 99, 'x')
+	c.text(2, 1, "long text running off the edge")
+	c.hline(-5, 99, 1, '-')
+	c.vline(2, -5, 99, '|')
+	if got := c.get(99, 99); got != ' ' {
+		t.Fatalf("out-of-bounds get = %q", got)
+	}
+	_ = c.String()
+}

@@ -1,0 +1,108 @@
+package machines
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// PDU is a power distribution unit: a strip of outlets, each feeding one
+// machine, "with Web interfaces showing current power consumption" (§2).
+// Serve exposes the real HTTP endpoint the wrapper scrapes every 10 s.
+type PDU struct {
+	Name string
+
+	mu      sync.Mutex
+	fleet   *Fleet
+	outlets map[int]string // outlet number -> machine name
+}
+
+// NewPDU creates a PDU over the fleet.
+func NewPDU(name string, fleet *Fleet) *PDU {
+	return &PDU{Name: name, fleet: fleet, outlets: map[int]string{}}
+}
+
+// Plug connects a machine to an outlet.
+func (p *PDU) Plug(outlet int, machine string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cur, used := p.outlets[outlet]; used {
+		return fmt.Errorf("machines: outlet %d already feeds %s", outlet, cur)
+	}
+	p.outlets[outlet] = machine
+	return nil
+}
+
+// OutletReading is one row of the PDU's web page.
+type OutletReading struct {
+	Outlet  int     `json:"outlet"`
+	Machine string  `json:"machine"`
+	Watts   float64 `json:"watts"`
+}
+
+// Readings returns the current outlet readings sorted by outlet.
+func (p *PDU) Readings() []OutletReading {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]OutletReading, 0, len(p.outlets))
+	for o, name := range p.outlets {
+		r := OutletReading{Outlet: o, Machine: name}
+		if m, ok := p.fleet.Get(name); ok {
+			r.Watts = m.PowerW()
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Outlet < out[j].Outlet })
+	return out
+}
+
+// ServeHTTP implements the PDU's web interface: GET /readings returns the
+// outlet table as JSON; GET / returns a minimal HTML status page like real
+// PDU firmware does.
+func (p *PDU) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	switch req.URL.Path {
+	case "/readings":
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(p.Readings()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "/":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<html><body><h1>PDU %s</h1><table>", p.Name)
+		for _, r := range p.Readings() {
+			fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td><td>%.1f W</td></tr>",
+				r.Outlet, r.Machine, r.Watts)
+		}
+		fmt.Fprint(w, "</table></body></html>")
+	default:
+		http.NotFound(w, req)
+	}
+}
+
+// PDUServer runs a PDU web interface on a local TCP port.
+type PDUServer struct {
+	pdu *PDU
+	l   net.Listener
+	srv *http.Server
+}
+
+// Serve starts the PDU's web interface on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func (p *PDU) Serve(addr string) (*PDUServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("machines: pdu listen: %w", err)
+	}
+	srv := &http.Server{Handler: p}
+	go srv.Serve(l) //nolint:errcheck // shutdown error is expected at Close
+	return &PDUServer{pdu: p, l: l, srv: srv}, nil
+}
+
+// URL returns the base URL of the interface.
+func (s *PDUServer) URL() string { return "http://" + s.l.Addr().String() }
+
+// Close shuts the interface down.
+func (s *PDUServer) Close() error { return s.srv.Close() }

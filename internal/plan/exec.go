@@ -1,0 +1,154 @@
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+	"aspen/internal/sql"
+	"aspen/internal/stream"
+)
+
+// TableHead is the pipeline entry point of one table scan; the deployer
+// pushes the table's current rows into it directly, so that a freshly
+// deployed query sees rows loaded before it subscribed (pushed inputs have
+// no replay).
+type TableHead struct {
+	Input string
+	Head  stream.Operator
+}
+
+// Deployment is a compiled continuous query running on a stream engine.
+type Deployment struct {
+	// Result is the materialized continuous result; displays snapshot it
+	// with the plan's ORDER BY / LIMIT.
+	Result  *stream.Materialize
+	OrderBy []stream.OrderSpec
+	Limit   int
+	// Inputs lists the engine inputs the plan subscribed to.
+	Inputs []string
+	// TableHeads lists table-scan entry points awaiting initial loads.
+	TableHeads []TableHead
+}
+
+// Snapshot returns the current result rows under the query's ORDER BY and
+// LIMIT.
+func (d *Deployment) Snapshot() ([]data.Tuple, error) {
+	return d.Result.Snapshot(d.OrderBy, d.Limit)
+}
+
+// CompileStream lowers a logical plan onto a stream engine: it builds the
+// operator pipeline bottom-up, registers/validates the engine inputs the
+// scans need, and subscribes the pipeline to them. When the plan names a
+// display (OUTPUT TO), the result also feeds the engine's display.
+func CompileStream(b *Built, eng *stream.Engine) (*Deployment, error) {
+	mat := stream.NewMaterialize(b.Root.Schema())
+	dep := &Deployment{Result: mat, OrderBy: b.OrderBy, Limit: b.Limit}
+
+	var sink stream.Operator = mat
+	if b.Display != "" {
+		disp := eng.Display(b.Display, b.Root.Schema())
+		sink = stream.NewTee(mat, disp)
+	}
+	if err := compileNode(b.Root, sink, eng, dep); err != nil {
+		return nil, err
+	}
+	return dep, nil
+}
+
+func compileNode(n Node, out stream.Operator, eng *stream.Engine, dep *Deployment) error {
+	switch x := n.(type) {
+	case *Scan:
+		in, ok := eng.Input(x.Input)
+		if !ok {
+			var err error
+			in, err = eng.Register(x.Input, x.Schema())
+			if err != nil {
+				return err
+			}
+		}
+		if in.Schema().Arity() != x.Schema().Arity() {
+			return fmt.Errorf("plan: input %s arity %d does not match scan %s",
+				x.Input, in.Schema().Arity(), x.Schema())
+		}
+		head := out
+		if !x.IsTable {
+			w := windowFor(x.Window)
+			switch {
+			case w == nil:
+				// unwindowed stream: tuples accumulate (append-only source)
+			default:
+				win := buildWindow(w, out)
+				eng.TrackWindow(win)
+				head = win
+			}
+		}
+		in.Subscribe(head)
+		dep.Inputs = append(dep.Inputs, x.Input)
+		if x.IsTable {
+			dep.TableHeads = append(dep.TableHeads, TableHead{Input: x.Input, Head: head})
+		}
+		return nil
+
+	case *Select:
+		pred, err := expr.Bind(x.Pred, x.In.Schema())
+		if err != nil {
+			return err
+		}
+		return compileNode(x.In, stream.NewFilter(out, pred), eng, dep)
+
+	case *Project:
+		p, err := stream.NewProject(out, x.In.Schema(), x.Items)
+		if err != nil {
+			return err
+		}
+		return compileNode(x.In, p, eng, dep)
+
+	case *Join:
+		j, err := stream.NewJoin(out, x.L.Schema(), x.R.Schema(), x.LKey, x.RKey, x.Residual)
+		if err != nil {
+			return err
+		}
+		if err := compileNode(x.L, j.Left(), eng, dep); err != nil {
+			return err
+		}
+		return compileNode(x.R, j.Right(), eng, dep)
+
+	case *Aggregate:
+		a, err := stream.NewAggregate(out, x.In.Schema(), x.GroupBy, x.Specs, x.Having)
+		if err != nil {
+			return err
+		}
+		return compileNode(x.In, a, eng, dep)
+
+	case *Distinct:
+		return compileNode(x.In, stream.NewDistinct(out), eng, dep)
+	}
+	return fmt.Errorf("plan: cannot compile %T", n)
+}
+
+type windowSpec struct {
+	kind  sql.WindowKind
+	rng   time.Duration
+	slide time.Duration
+	rows  int
+}
+
+func windowFor(w *sql.WindowSpec) *windowSpec {
+	if w == nil || w.Kind == sql.WindowNone {
+		return nil
+	}
+	return &windowSpec{kind: w.Kind, rng: w.Range, slide: w.Slide, rows: w.Rows}
+}
+
+func buildWindow(w *windowSpec, out stream.Operator) *stream.Window {
+	switch w.kind {
+	case sql.WindowRows:
+		return stream.NewRowsWindow(out, w.rows)
+	case sql.WindowNow:
+		return stream.NewNowWindow(out)
+	default:
+		return stream.NewTimeWindow(out, w.rng, w.slide)
+	}
+}

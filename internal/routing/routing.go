@@ -1,0 +1,266 @@
+// Package routing computes suggested routes through the building: shortest
+// paths over the "routing points" table (§2: "a table of 'routing points'
+// describing possible path segments and distances in the building in order
+// to suggest routes to resources").
+//
+// The stream engine's recursive views (internal/views) answer the same
+// queries declaratively; this package is the imperative substrate the
+// SmartCIS control logic uses for real-time guidance, plus the reference
+// implementation the property tests compare against.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Graph is a directed weighted graph over string-named routing points.
+// All methods are safe for concurrent use.
+type Graph struct {
+	mu  sync.RWMutex
+	adj map[string]map[string]float64
+	rev uint64 // bumped on mutation; lets cached routes invalidate
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: map[string]map[string]float64{}}
+}
+
+// AddEdge inserts (or updates) a directed edge. Negative weights are
+// rejected.
+func (g *Graph) AddEdge(from, to string, w float64) error {
+	if w < 0 {
+		return fmt.Errorf("routing: negative edge weight %v", w)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.adj[from] == nil {
+		g.adj[from] = map[string]float64{}
+	}
+	if _, ok := g.adj[to]; !ok {
+		g.adj[to] = map[string]float64{}
+	}
+	g.adj[from][to] = w
+	g.rev++
+	return nil
+}
+
+// AddBoth inserts the edge in both directions (hallways are two-way).
+func (g *Graph) AddBoth(a, b string, w float64) error {
+	if err := g.AddEdge(a, b, w); err != nil {
+		return err
+	}
+	return g.AddEdge(b, a, w)
+}
+
+// RemoveEdge deletes a directed edge; unknown edges are ignored.
+func (g *Graph) RemoveEdge(from, to string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m := g.adj[from]; m != nil {
+		if _, ok := m[to]; ok {
+			delete(m, to)
+			g.rev++
+		}
+	}
+}
+
+// RemoveBoth deletes the edge in both directions.
+func (g *Graph) RemoveBoth(a, b string) {
+	g.RemoveEdge(a, b)
+	g.RemoveEdge(b, a)
+}
+
+// Nodes returns all known routing points, sorted.
+func (g *Graph) Nodes() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.adj))
+	for n := range g.adj {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, m := range g.adj {
+		n += len(m)
+	}
+	return n
+}
+
+// Version increments on every mutation.
+func (g *Graph) Version() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.rev
+}
+
+// Route is a computed path.
+type Route struct {
+	Points []string
+	Dist   float64
+}
+
+// String renders "a -> b -> c (dist)".
+func (r Route) String() string {
+	if len(r.Points) == 0 {
+		return "(unreachable)"
+	}
+	s := ""
+	for i, p := range r.Points {
+		if i > 0 {
+			s += " -> "
+		}
+		s += p
+	}
+	return fmt.Sprintf("%s (%.0f)", s, r.Dist)
+}
+
+// pqItem is a priority queue entry for Dijkstra.
+type pqItem struct {
+	node string
+	dist float64
+	idx  int
+}
+
+type pq []*pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i]; p[i].idx, p[j].idx = i, j }
+func (p *pq) Push(x any)        { it := x.(*pqItem); it.idx = len(*p); *p = append(*p, it) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// Shortest returns the minimum-distance route from src to dst, or ok=false
+// when unreachable.
+func (g *Graph) Shortest(src, dst string) (Route, bool) {
+	dists, prev := g.dijkstra(src, dst)
+	d, ok := dists[dst]
+	if !ok {
+		return Route{}, false
+	}
+	var points []string
+	for cur := dst; ; cur = prev[cur] {
+		points = append(points, cur)
+		if cur == src {
+			break
+		}
+	}
+	for i, j := 0, len(points)-1; i < j; i, j = i+1, j-1 {
+		points[i], points[j] = points[j], points[i]
+	}
+	return Route{Points: points, Dist: d}, true
+}
+
+// Distances returns shortest distances from src to every reachable node.
+func (g *Graph) Distances(src string) map[string]float64 {
+	dists, _ := g.dijkstra(src, "")
+	return dists
+}
+
+// dijkstra runs from src; when target is non-empty it stops early on
+// settling the target.
+func (g *Graph) dijkstra(src, target string) (map[string]float64, map[string]string) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	dists := map[string]float64{}
+	prev := map[string]string{}
+	if _, ok := g.adj[src]; !ok {
+		return dists, prev
+	}
+	settled := map[string]bool{}
+	q := &pq{}
+	heap.Push(q, &pqItem{node: src, dist: 0})
+	dists[src] = 0
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		if settled[it.node] {
+			continue
+		}
+		settled[it.node] = true
+		if target != "" && it.node == target {
+			return dists, prev
+		}
+		for nb, w := range g.adj[it.node] {
+			nd := it.dist + w
+			if cur, ok := dists[nb]; !ok || nd < cur {
+				dists[nb] = nd
+				prev[nb] = it.node
+				heap.Push(q, &pqItem{node: nb, dist: nd})
+			}
+		}
+	}
+	return dists, prev
+}
+
+// Nearest returns the reachable destination among candidates with the
+// smallest distance from src, with its route; ok=false when none reachable.
+func (g *Graph) Nearest(src string, candidates []string) (string, Route, bool) {
+	dists, prev := g.dijkstra(src, "")
+	best, bestD := "", math.Inf(1)
+	for _, c := range candidates {
+		if d, ok := dists[c]; ok && d < bestD {
+			best, bestD = c, d
+		}
+	}
+	if best == "" {
+		return "", Route{}, false
+	}
+	var points []string
+	for cur := best; ; cur = prev[cur] {
+		points = append(points, cur)
+		if cur == src {
+			break
+		}
+	}
+	for i, j := 0, len(points)-1; i < j; i, j = i+1, j-1 {
+		points[i], points[j] = points[j], points[i]
+	}
+	return best, Route{Points: points, Dist: bestD}, true
+}
+
+// FloydWarshall computes all-pairs shortest distances; the reference
+// implementation used by property tests (O(n³), small graphs only).
+func (g *Graph) FloydWarshall() map[string]map[string]float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	nodes := make([]string, 0, len(g.adj))
+	for n := range g.adj {
+		nodes = append(nodes, n)
+	}
+	d := map[string]map[string]float64{}
+	for _, a := range nodes {
+		d[a] = map[string]float64{a: 0}
+		for b, w := range g.adj[a] {
+			if cur, ok := d[a][b]; !ok || w < cur {
+				d[a][b] = w
+			}
+		}
+	}
+	for _, k := range nodes {
+		for _, i := range nodes {
+			dik, ok := d[i][k]
+			if !ok {
+				continue
+			}
+			for _, j := range nodes {
+				if dkj, ok := d[k][j]; ok {
+					if cur, exists := d[i][j]; !exists || dik+dkj < cur {
+						d[i][j] = dik + dkj
+					}
+				}
+			}
+		}
+	}
+	return d
+}

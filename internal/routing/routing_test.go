@@ -1,0 +1,220 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddBoth("lobby", "h1", 40))
+	must(g.AddBoth("h1", "lab101", 25))
+	must(g.AddBoth("lobby", "h2", 30))
+	must(g.AddBoth("h2", "lab101", 50))
+	must(g.AddBoth("h1", "h2", 10))
+	return g
+}
+
+func TestShortestPath(t *testing.T) {
+	g := buildDiamond(t)
+	r, ok := g.Shortest("lobby", "lab101")
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	if r.Dist != 65 {
+		t.Fatalf("dist = %v, want 65", r.Dist)
+	}
+	want := []string{"lobby", "h1", "lab101"}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %v", r.Points)
+	}
+	for i := range want {
+		if r.Points[i] != want[i] {
+			t.Fatalf("path = %v, want %v", r.Points, want)
+		}
+	}
+	if !strings.Contains(r.String(), "lobby -> h1 -> lab101") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestShortestSelfAndUnreachable(t *testing.T) {
+	g := buildDiamond(t)
+	r, ok := g.Shortest("lobby", "lobby")
+	if !ok || r.Dist != 0 || len(r.Points) != 1 {
+		t.Fatalf("self route = %v %t", r, ok)
+	}
+	if _, ok := g.Shortest("lobby", "nowhere"); ok {
+		t.Fatal("phantom destination reachable")
+	}
+	if _, ok := g.Shortest("nowhere", "lobby"); ok {
+		t.Fatal("phantom source reachable")
+	}
+	if (Route{}).String() != "(unreachable)" {
+		t.Fatal("empty route rendering")
+	}
+}
+
+func TestEdgeRemovalReroutes(t *testing.T) {
+	g := buildDiamond(t)
+	v0 := g.Version()
+	g.RemoveBoth("h1", "lab101")
+	if g.Version() == v0 {
+		t.Fatal("version not bumped")
+	}
+	r, ok := g.Shortest("lobby", "lab101")
+	if !ok || r.Dist != 80 {
+		t.Fatalf("reroute = %v %t, want dist 80 via h2", r, ok)
+	}
+	// removing an unknown edge is a no-op and does not bump the version
+	v1 := g.Version()
+	g.RemoveEdge("x", "y")
+	if g.Version() != v1 {
+		t.Fatal("no-op removal bumped version")
+	}
+}
+
+func TestNegativeWeightRejected(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddEdge("a", "b", -1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := g.AddBoth("a", "b", -1); err == nil {
+		t.Fatal("negative weight accepted via AddBoth")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	g := buildDiamond(t)
+	dest, r, ok := g.Nearest("lobby", []string{"lab101", "h2"})
+	if !ok || dest != "h2" || r.Dist != 30 {
+		t.Fatalf("nearest = %s %v %t", dest, r, ok)
+	}
+	if _, _, ok := g.Nearest("lobby", []string{"mars"}); ok {
+		t.Fatal("unreachable candidate chosen")
+	}
+	if _, _, ok := g.Nearest("lobby", nil); ok {
+		t.Fatal("empty candidate set chosen")
+	}
+}
+
+func TestNodesAndEdges(t *testing.T) {
+	g := buildDiamond(t)
+	ns := g.Nodes()
+	if len(ns) != 4 || ns[0] != "h1" {
+		t.Fatalf("nodes = %v", ns)
+	}
+	if g.Edges() != 10 {
+		t.Fatalf("edges = %d", g.Edges())
+	}
+}
+
+func TestDistances(t *testing.T) {
+	g := buildDiamond(t)
+	d := g.Distances("lobby")
+	if d["lab101"] != 65 || d["h2"] != 30 || d["lobby"] != 0 {
+		t.Fatalf("distances = %v", d)
+	}
+}
+
+func TestDirectedEdgesAreOneWay(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddEdge("a", "b", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Shortest("a", "b"); !ok {
+		t.Fatal("forward direction broken")
+	}
+	if _, ok := g.Shortest("b", "a"); ok {
+		t.Fatal("reverse direction should be unreachable")
+	}
+}
+
+// Property: Dijkstra agrees with Floyd-Warshall on random graphs.
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		g := NewGraph()
+		n := 8 + r.Intn(6)
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("n%d", i)
+		}
+		edges := n * 2
+		for i := 0; i < edges; i++ {
+			a, b := nodes[r.Intn(n)], nodes[r.Intn(n)]
+			if a == b {
+				continue
+			}
+			if err := g.AddEdge(a, b, float64(1+r.Intn(20))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fw := g.FloydWarshall()
+		for _, src := range nodes {
+			if _, known := fw[src]; !known {
+				continue
+			}
+			dij := g.Distances(src)
+			for _, dst := range nodes {
+				fwD, fwOK := fw[src][dst]
+				dijD, dijOK := dij[dst]
+				if fwOK != dijOK {
+					t.Fatalf("trial %d: reachability disagrees for %s->%s (fw=%t dij=%t)",
+						trial, src, dst, fwOK, dijOK)
+				}
+				if fwOK && math.Abs(fwD-dijD) > 1e-9 {
+					t.Fatalf("trial %d: %s->%s fw=%v dij=%v", trial, src, dst, fwD, dijD)
+				}
+			}
+		}
+	}
+}
+
+// Property: path distances are consistent — the reported distance equals
+// the sum of edge weights along the reported path.
+func TestRouteDistanceConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	g := NewGraph()
+	var names []string
+	for i := 0; i < 15; i++ {
+		names = append(names, fmt.Sprintf("p%d", i))
+	}
+	for i := 0; i < 40; i++ {
+		a, b := names[r.Intn(15)], names[r.Intn(15)]
+		if a != b {
+			_ = g.AddBoth(a, b, float64(1+r.Intn(9)))
+		}
+	}
+	g.mu.RLock()
+	adj := g.adj
+	g.mu.RUnlock()
+	for _, src := range names {
+		for _, dst := range names {
+			route, ok := g.Shortest(src, dst)
+			if !ok {
+				continue
+			}
+			sum := 0.0
+			for i := 0; i+1 < len(route.Points); i++ {
+				w, ok := adj[route.Points[i]][route.Points[i+1]]
+				if !ok {
+					t.Fatalf("path uses nonexistent edge %s->%s", route.Points[i], route.Points[i+1])
+				}
+				sum += w
+			}
+			if math.Abs(sum-route.Dist) > 1e-9 {
+				t.Fatalf("%s->%s: path sums to %v, reported %v", src, dst, sum, route.Dist)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sensor
+
+import (
+	"time"
+
+	"aspen/internal/expr"
+)
+
+// CostEstimate is the sensor optimizer's cost report: expected radio
+// messages per epoch and the epoch period. The federated optimizer converts
+// this into the stream engine's latency-based model using catalog
+// statistics (§3: "the federated optimizer must convert everything to one
+// model").
+type CostEstimate struct {
+	MsgsPerEpoch float64
+	Period       time.Duration
+}
+
+// PerSecond returns the expected message rate.
+func (c CostEstimate) PerSecond() float64 {
+	if c.Period <= 0 {
+		return c.MsgsPerEpoch
+	}
+	return c.MsgsPerEpoch / c.Period.Seconds()
+}
+
+// selEstimate derives a selectivity for a local predicate; 1 when absent.
+func selEstimate(pred *expr.Compiled) float64 {
+	if pred == nil {
+		return 1
+	}
+	// Reconstruct a crude estimate from the textbook table.
+	return 0.3
+}
+
+// EstimateSelect predicts messages/epoch for a selection query: each node
+// carrying the sensor ships a passing reading over its tree depth.
+func (e *Engine) EstimateSelect(q *SelectQuery) (CostEstimate, error) {
+	if e.net.Base() < 0 {
+		return CostEstimate{}, errNoBase
+	}
+	sigma := selEstimate(q.Pred)
+	msgs := 0.0
+	for _, n := range e.net.Nodes() {
+		if n.Dead || n.Hops < 0 || !n.HasSensor(q.Sensor) {
+			continue
+		}
+		msgs += sigma * float64(n.Hops)
+	}
+	return CostEstimate{MsgsPerEpoch: msgs, Period: q.Period}, nil
+}
+
+// EstimateAggregate predicts messages/epoch: in-network TAG sends one
+// message per participating node per epoch (frame count grows with groups);
+// the centralized baseline ships every raw reading over its full depth.
+func (e *Engine) EstimateAggregate(q *AggregateQuery) (CostEstimate, error) {
+	if e.net.Base() < 0 {
+		return CostEstimate{}, errNoBase
+	}
+	sigma := selEstimate(q.Pred)
+	msgs := 0.0
+	for _, n := range e.net.Nodes() {
+		if n.Dead || n.Hops < 0 || n.ID == e.net.Base() {
+			continue
+		}
+		if q.Mode == AggCentralized {
+			if n.HasSensor(q.Sensor) {
+				msgs += sigma * float64(n.Hops)
+			}
+		} else {
+			// Every tree node relays one PSR message per epoch. Nodes whose
+			// subtree has no readings suppress theirs; approximate with 1.
+			msgs++
+		}
+	}
+	return CostEstimate{MsgsPerEpoch: msgs, Period: q.Period}, nil
+}
+
+// EstimateJoin predicts messages/epoch using each pair's optimizer-chosen
+// placement under current selectivity estimates.
+func (e *Engine) EstimateJoin(st *JoinState) (CostEstimate, error) {
+	if e.net.Base() < 0 {
+		return CostEstimate{}, errNoBase
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	msgs := 0.0
+	for _, p := range st.pairs {
+		s := st.stats[[2]int{p.l, p.r}]
+		join := s.sigmaL * s.sigmaR * s.sigmaJ
+		var cost float64
+		switch st.choose(p) {
+		case PlaceAtLeft:
+			cost = s.sigmaR*float64(p.lr) + join*float64(p.lBase)
+		case PlaceAtRight:
+			cost = s.sigmaL*float64(p.lr) + join*float64(p.rBase)
+		default:
+			cost = s.sigmaL*float64(p.lBase) + s.sigmaR*float64(p.rBase)
+		}
+		msgs += cost
+	}
+	return CostEstimate{MsgsPerEpoch: msgs, Period: st.q.Period}, nil
+}

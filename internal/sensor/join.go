@@ -1,0 +1,301 @@
+package sensor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+	"aspen/internal/sensornet"
+	"aspen/internal/vtime"
+)
+
+// PairBy defines how join partners are matched between the two sides.
+type PairBy uint8
+
+// Pairing strategies.
+const (
+	// PairSameDesk joins sensors mounted on the same (room, desk): the
+	// paper's workstation-monitoring join between a machine's temperature
+	// mote and the chair's light mote.
+	PairSameDesk PairBy = iota
+	// PairSameRoom joins every left sensor with every right sensor in the
+	// same room.
+	PairSameRoom
+	// PairProximity joins sensors within Radius of each other.
+	PairProximity
+)
+
+// Placement is where a pair's join executes.
+type Placement uint8
+
+// Join placements. PlaceOptimized re-decides per pair from online
+// selectivity estimates; the fixed placements are the E3 ablation arms.
+const (
+	PlaceOptimized Placement = iota
+	PlaceAtLeft
+	PlaceAtRight
+	PlaceAtBase
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlaceOptimized:
+		return "optimized"
+	case PlaceAtLeft:
+		return "at-left"
+	case PlaceAtRight:
+		return "at-right"
+	case PlaceAtBase:
+		return "at-base"
+	}
+	return "place?"
+}
+
+// JoinSide describes one input of an in-network join.
+type JoinSide struct {
+	Rel    string
+	Sensor sensornet.SensorKind
+	// Pred is an optional local filter over ReadingSchema(Rel).
+	Pred *expr.Compiled
+}
+
+// JoinQuery is a pairwise in-network join between two sensor types.
+type JoinQuery struct {
+	Left, Right JoinSide
+	PairBy      PairBy
+	Radius      float64 // for PairProximity
+	// On is an optional residual predicate over the concatenated schema.
+	On        *expr.Compiled
+	Placement Placement
+	Period    time.Duration
+}
+
+// Schema returns the concatenated output schema.
+func (q *JoinQuery) Schema() *data.Schema {
+	return ReadingSchema(q.Left.Rel).Concat(ReadingSchema(q.Right.Rel))
+}
+
+// pair is one (left mote, right mote) join partnership.
+type pair struct {
+	l, r int
+	// hops cached at pairing time
+	lr, lBase, rBase int
+}
+
+// pairStats tracks online selectivity estimates (EWMA) per pair.
+type pairStats struct {
+	sigmaL, sigmaR, sigmaJ float64
+	n                      int
+}
+
+const ewmaAlpha = 0.2
+
+func (s *pairStats) observe(lPass, rPass, jPass bool) {
+	b := func(x bool) float64 {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	if s.n == 0 {
+		s.sigmaL, s.sigmaR, s.sigmaJ = b(lPass), b(rPass), b(jPass)
+	} else {
+		s.sigmaL += ewmaAlpha * (b(lPass) - s.sigmaL)
+		s.sigmaR += ewmaAlpha * (b(rPass) - s.sigmaR)
+		s.sigmaJ += ewmaAlpha * (b(jPass) - s.sigmaJ)
+	}
+	s.n++
+}
+
+// JoinState is the long-lived execution state of a join query: the pair
+// list and each pair's adaptive statistics. Create once with PlanJoin, then
+// run epochs against it.
+type JoinState struct {
+	mu    sync.Mutex
+	q     *JoinQuery
+	pairs []pair
+	stats map[[2]int]*pairStats
+	// Decisions counts placements chosen at the latest epoch, for
+	// observability (the demo GUI shows live plan partitioning).
+	Decisions map[Placement]int
+}
+
+// PlanJoin matches join partners over the current topology and initializes
+// adaptive state. It fails when the network has no base station.
+func (e *Engine) PlanJoin(q *JoinQuery) (*JoinState, error) {
+	base := e.net.Base()
+	if base < 0 {
+		return nil, errNoBase
+	}
+	var lefts, rights []sensornet.Node
+	for _, n := range e.net.Nodes() {
+		if n.HasSensor(q.Left.Sensor) {
+			lefts = append(lefts, n)
+		}
+		if n.HasSensor(q.Right.Sensor) {
+			rights = append(rights, n)
+		}
+	}
+	st := &JoinState{q: q, stats: map[[2]int]*pairStats{}, Decisions: map[Placement]int{}}
+	for _, l := range lefts {
+		for _, r := range rights {
+			if l.ID == r.ID && q.Left.Sensor == q.Right.Sensor {
+				continue
+			}
+			match := false
+			switch q.PairBy {
+			case PairSameDesk:
+				match = l.Room == r.Room && l.Desk == r.Desk && l.Desk != 0
+			case PairSameRoom:
+				match = l.Room == r.Room && l.Room != ""
+			case PairProximity:
+				dx, dy := l.X-r.X, l.Y-r.Y
+				match = dx*dx+dy*dy <= q.Radius*q.Radius
+			}
+			if !match {
+				continue
+			}
+			p := pair{
+				l: l.ID, r: r.ID,
+				lr:    e.net.HopDist(l.ID, r.ID),
+				lBase: e.net.HopDist(l.ID, base),
+				rBase: e.net.HopDist(r.ID, base),
+			}
+			if p.lr < 0 || p.lBase < 0 || p.rBase < 0 {
+				continue // disconnected
+			}
+			st.pairs = append(st.pairs, p)
+			st.stats[[2]int{l.ID, r.ID}] = &pairStats{sigmaL: 0.5, sigmaR: 0.5, sigmaJ: 0.5}
+		}
+	}
+	sort.Slice(st.pairs, func(i, j int) bool {
+		if st.pairs[i].l != st.pairs[j].l {
+			return st.pairs[i].l < st.pairs[j].l
+		}
+		return st.pairs[i].r < st.pairs[j].r
+	})
+	return st, nil
+}
+
+// Pairs returns the number of matched join partnerships.
+func (st *JoinState) Pairs() int { return len(st.pairs) }
+
+// choose returns the placement for a pair given current selectivity
+// estimates, implementing the §3 "sensor-by-sensor" decision. Expected
+// messages per epoch:
+//
+//	at left:  σR·h(r,l)   + σL·σR·σJ·h(l,base)
+//	at right: σL·h(l,r)   + σL·σR·σJ·h(r,base)
+//	at base:  σL·h(l,base) + σR·h(r,base)
+func (st *JoinState) choose(p pair) Placement {
+	if st.q.Placement != PlaceOptimized {
+		return st.q.Placement
+	}
+	s := st.stats[[2]int{p.l, p.r}]
+	join := s.sigmaL * s.sigmaR * s.sigmaJ
+	costL := s.sigmaR*float64(p.lr) + join*float64(p.lBase)
+	costR := s.sigmaL*float64(p.lr) + join*float64(p.rBase)
+	costB := s.sigmaL*float64(p.lBase) + s.sigmaR*float64(p.rBase)
+	switch {
+	case costL <= costR && costL <= costB:
+		return PlaceAtLeft
+	case costR <= costB:
+		return PlaceAtRight
+	default:
+		return PlaceAtBase
+	}
+}
+
+// RunJoinEpoch executes one epoch of the join, delivering joined tuples to
+// sink; it returns the number delivered. Radio loss can drop a pair's
+// contribution for the epoch, exactly as on real motes.
+func (e *Engine) RunJoinEpoch(st *JoinState, now vtime.Time, sink Sink) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	q := st.q
+	base := e.net.Base()
+	delivered := 0
+	decisions := map[Placement]int{}
+
+	for _, p := range st.pairs {
+		ln, lok := e.net.Node(p.l)
+		rn, rok := e.net.Node(p.r)
+		if !lok || !rok || ln.Dead || rn.Dead {
+			continue
+		}
+		lt, lsampled := e.sample(ln, q.Left.Sensor, now)
+		rt, rsampled := e.sample(rn, q.Right.Sensor, now)
+		if !lsampled || !rsampled {
+			continue
+		}
+		lPass := q.Left.Pred == nil || q.Left.Pred.EvalBool(lt)
+		rPass := q.Right.Pred == nil || q.Right.Pred.EvalBool(rt)
+		joined := lt.Concat(rt)
+		jPass := q.On == nil || q.On.EvalBool(joined)
+		stats := st.stats[[2]int{p.l, p.r}]
+		place := st.choose(p)
+		decisions[place]++
+		stats.observe(lPass, rPass, jPass)
+
+		switch place {
+		case PlaceAtLeft:
+			// Right ships its passing reading to left; join runs at left.
+			if !rPass {
+				break
+			}
+			if p.lr > 0 && !e.net.Send(p.r, p.l, 1) {
+				break
+			}
+			if lPass && jPass {
+				if p.lBase == 0 || e.net.Send(p.l, base, 1) {
+					sink(joined)
+					delivered++
+				}
+			}
+		case PlaceAtRight:
+			if !lPass {
+				break
+			}
+			if p.lr > 0 && !e.net.Send(p.l, p.r, 1) {
+				break
+			}
+			if rPass && jPass {
+				if p.rBase == 0 || e.net.Send(p.r, base, 1) {
+					sink(joined)
+					delivered++
+				}
+			}
+		default: // PlaceAtBase
+			lArrived := lPass && (p.lBase == 0 || e.net.Send(p.l, base, 1))
+			rArrived := rPass && (p.rBase == 0 || e.net.Send(p.r, base, 1))
+			if lArrived && rArrived && jPass {
+				sink(joined)
+				delivered++
+			}
+		}
+	}
+	st.Decisions = decisions
+	return delivered
+}
+
+// StartJoin schedules the join every q.Period (default 1s).
+func (e *Engine) StartJoin(st *JoinState, sched *vtime.Scheduler, sink Sink) Runner {
+	period := st.q.Period
+	if period <= 0 {
+		period = time.Second
+	}
+	stop := sched.Every(period, func() {
+		e.RunJoinEpoch(st, sched.Now(), sink)
+	})
+	return &handle{stop: stop}
+}
+
+// String renders the query for plan displays.
+func (q *JoinQuery) String() string {
+	return fmt.Sprintf("in-network join %s(%s) ⋈ %s(%s) [%s]",
+		q.Left.Rel, q.Left.Sensor, q.Right.Rel, q.Right.Sensor, q.Placement)
+}

@@ -1,0 +1,142 @@
+package sensornet
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Beacon is an active RFID device carried by a building occupant. Hallway
+// motes with SensorRFID hear its periodic low-power transmission when in
+// range; the strongest reader wins, which is how SmartCIS localizes
+// visitors (§2 "Detection of occupants").
+type Beacon struct {
+	ID    int
+	Owner string // person carrying the badge
+	X, Y  float64
+}
+
+// BeaconField tracks the moving beacons over a network.
+type BeaconField struct {
+	mu      sync.Mutex
+	net     *Network
+	beacons map[int]*Beacon
+	// BeaconRange is the low-power transmit radius, deliberately shorter
+	// than the inter-mote radio range.
+	BeaconRange float64
+}
+
+// NewBeaconField creates a beacon field over the network.
+func NewBeaconField(net *Network, beaconRange float64) *BeaconField {
+	if beaconRange <= 0 {
+		beaconRange = net.Config().RadioRange / 2
+	}
+	return &BeaconField{net: net, beacons: map[int]*Beacon{}, BeaconRange: beaconRange}
+}
+
+// Place adds or moves a beacon.
+func (bf *BeaconField) Place(b Beacon) {
+	bf.mu.Lock()
+	cp := b
+	bf.beacons[b.ID] = &cp
+	bf.mu.Unlock()
+}
+
+// Move repositions an existing beacon; unknown IDs are ignored.
+func (bf *BeaconField) Move(id int, x, y float64) {
+	bf.mu.Lock()
+	if b := bf.beacons[id]; b != nil {
+		b.X, b.Y = x, y
+	}
+	bf.mu.Unlock()
+}
+
+// Remove deletes a beacon (occupant left the building).
+func (bf *BeaconField) Remove(id int) {
+	bf.mu.Lock()
+	delete(bf.beacons, id)
+	bf.mu.Unlock()
+}
+
+// Beacons returns a snapshot of all beacons sorted by ID.
+func (bf *BeaconField) Beacons() []Beacon {
+	bf.mu.Lock()
+	defer bf.mu.Unlock()
+	out := make([]Beacon, 0, len(bf.beacons))
+	for _, b := range bf.beacons {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Detection is one beacon sighting by a reader mote.
+type Detection struct {
+	BeaconID int
+	Owner    string
+	NodeID   int
+	RSSI     float64 // 1/(1+d); larger is closer
+}
+
+// Hear returns the beacons audible at the given RFID mote this instant,
+// strongest first.
+func (bf *BeaconField) Hear(nodeID int) []Detection {
+	n, ok := bf.net.Node(nodeID)
+	if !ok || n.Dead || !n.HasSensor(SensorRFID) {
+		return nil
+	}
+	bf.mu.Lock()
+	defer bf.mu.Unlock()
+	var out []Detection
+	for _, b := range bf.beacons {
+		d := dist(n.X, n.Y, b.X, b.Y)
+		if d <= bf.BeaconRange {
+			out = append(out, Detection{
+				BeaconID: b.ID, Owner: b.Owner, NodeID: nodeID,
+				RSSI: 1 / (1 + d),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RSSI != out[j].RSSI {
+			return out[i].RSSI > out[j].RSSI
+		}
+		return out[i].BeaconID < out[j].BeaconID
+	})
+	return out
+}
+
+// Locate returns, for each beacon, the reader that hears it loudest; the
+// building-side position estimate. Beacons out of range of every reader are
+// absent from the result.
+func (bf *BeaconField) Locate() map[int]Detection {
+	best := map[int]Detection{}
+	for _, n := range bf.net.Nodes() {
+		if n.Dead || !n.HasSensor(SensorRFID) {
+			continue
+		}
+		for _, det := range bf.Hear(n.ID) {
+			cur, ok := best[det.BeaconID]
+			if !ok || det.RSSI > cur.RSSI ||
+				(det.RSSI == cur.RSSI && det.NodeID < cur.NodeID) {
+				best[det.BeaconID] = det
+			}
+		}
+	}
+	return best
+}
+
+// NearestReader returns the RFID mote closest to (x, y) regardless of
+// range; handy for tests and GUI hit-testing. Returns -1 when no readers.
+func (bf *BeaconField) NearestReader(x, y float64) int {
+	bestID, bestD := -1, math.Inf(1)
+	for _, n := range bf.net.Nodes() {
+		if n.Dead || !n.HasSensor(SensorRFID) {
+			continue
+		}
+		if d := dist(n.X, n.Y, x, y); d < bestD {
+			bestID, bestD = n.ID, d
+		}
+	}
+	return bestID
+}

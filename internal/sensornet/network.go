@@ -1,0 +1,470 @@
+// Package sensornet simulates the mote deployment that SmartCIS instruments
+// the Moore building with: IRIS/iMote2-class devices with light and
+// temperature sensors on desks and RFID-listening motes in hallways.
+//
+// The simulator models what the paper's sensor-engine claims depend on —
+// topology, hop-by-hop message forwarding, per-message transmit/receive
+// energy, lossy links, and a base-station collection tree — while staying
+// deterministic (seeded RNG, virtual time) so experiments are reproducible.
+package sensornet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// SensorKind enumerates the physical sensors a mote may carry.
+type SensorKind uint8
+
+// Sensor kinds deployed in SmartCIS (§2).
+const (
+	SensorLight SensorKind = iota
+	SensorTemperature
+	SensorRFID // listens for active RFID beacon transmissions
+)
+
+// String names the sensor kind.
+func (k SensorKind) String() string {
+	switch k {
+	case SensorLight:
+		return "light"
+	case SensorTemperature:
+		return "temperature"
+	case SensorRFID:
+		return "rfid"
+	}
+	return fmt.Sprintf("sensor(%d)", uint8(k))
+}
+
+// Config holds the radio and energy model parameters.
+type Config struct {
+	// Seed makes message loss reproducible.
+	Seed int64
+	// RadioRange is the maximum link distance in building-model units
+	// (feet); the paper places hallway motes "every 100 feet".
+	RadioRange float64
+	// LossRate is the per-hop probability a message is dropped.
+	LossRate float64
+	// TxCost and RxCost are millijoules charged per message hop.
+	TxCost, RxCost float64
+	// InitialBattery is each mote's starting energy in millijoules.
+	InitialBattery float64
+}
+
+// DefaultConfig returns the parameters used by the SmartCIS deployment.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		RadioRange:     110,
+		LossRate:       0.0,
+		TxCost:         0.06, // ~two AA motes sending 36-byte frames
+		RxCost:         0.03,
+		InitialBattery: 20_000,
+	}
+}
+
+// Node is one mote.
+type Node struct {
+	ID      int
+	X, Y    float64
+	Room    string
+	Desk    int // 0 if not desk-mounted
+	Sensors []SensorKind
+
+	Battery float64
+	Dead    bool
+
+	// Collection tree state (set by BuildTree).
+	Parent int // -1 for the base station or unreachable nodes
+	Hops   int // tree depth; 0 at the base, -1 if unreachable
+}
+
+// HasSensor reports whether the node carries the given sensor.
+func (n *Node) HasSensor(k SensorKind) bool {
+	for _, s := range n.Sensors {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Metrics is a snapshot of network-wide accounting.
+type Metrics struct {
+	Sent      int64 // message transmissions (per hop)
+	Received  int64
+	Dropped   int64 // lost to the radio
+	EnergyMJ  float64
+	DeadNodes int
+}
+
+// Network is the simulated sensor field. All methods are safe for
+// concurrent use.
+type Network struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *rand.Rand
+	nodes map[int]*Node
+	base  int
+	// adjacency derived from positions & radio range
+	adj map[int][]int
+	// metrics
+	m Metrics
+}
+
+// New creates an empty network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.RadioRange <= 0 {
+		cfg.RadioRange = DefaultConfig().RadioRange
+	}
+	return &Network{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: map[int]*Node{},
+		base:  -1,
+		adj:   map[int][]int{},
+	}
+}
+
+// Config returns the network configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// AddNode places a mote. IDs must be unique.
+func (nw *Network) AddNode(n Node) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if _, dup := nw.nodes[n.ID]; dup {
+		return fmt.Errorf("sensornet: duplicate node id %d", n.ID)
+	}
+	n.Battery = nw.cfg.InitialBattery
+	n.Parent, n.Hops = -1, -1
+	node := n
+	nw.nodes[n.ID] = &node
+	nw.linkLocked(n.ID)
+	return nil
+}
+
+// MustAddNode adds a node, panicking on error; for deployment builders.
+func (nw *Network) MustAddNode(n Node) {
+	if err := nw.AddNode(n); err != nil {
+		panic(err)
+	}
+}
+
+// linkLocked recomputes adjacency for a newly added node.
+func (nw *Network) linkLocked(id int) {
+	a := nw.nodes[id]
+	for oid, o := range nw.nodes {
+		if oid == id {
+			continue
+		}
+		if dist(a.X, a.Y, o.X, o.Y) <= nw.cfg.RadioRange {
+			nw.adj[id] = append(nw.adj[id], oid)
+			nw.adj[oid] = append(nw.adj[oid], id)
+		}
+	}
+	sort.Ints(nw.adj[id])
+}
+
+// SetBase designates the base station (gateway to the stream engine).
+func (nw *Network) SetBase(id int) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if _, ok := nw.nodes[id]; !ok {
+		return fmt.Errorf("sensornet: no node %d for base", id)
+	}
+	nw.base = id
+	return nil
+}
+
+// Base returns the base station ID (-1 if unset).
+func (nw *Network) Base() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.base
+}
+
+// Node returns a copy of the node's current state.
+func (nw *Network) Node(id int) (Node, bool) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	n, ok := nw.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// Nodes returns copies of all nodes sorted by ID.
+func (nw *Network) Nodes() []Node {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	out := make([]Node, 0, len(nw.nodes))
+	for _, n := range nw.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Neighbors returns the IDs of alive nodes in radio range of id.
+func (nw *Network) Neighbors(id int) []int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	var out []int
+	for _, o := range nw.adj[id] {
+		if n := nw.nodes[o]; n != nil && !n.Dead {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// BuildTree (re)computes the collection tree: a BFS spanning tree rooted at
+// the base over alive nodes. Unreachable nodes get Hops == -1.
+func (nw *Network) BuildTree() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.buildTreeLocked()
+}
+
+func (nw *Network) buildTreeLocked() {
+	for _, n := range nw.nodes {
+		n.Parent, n.Hops = -1, -1
+	}
+	if nw.base < 0 {
+		return
+	}
+	root := nw.nodes[nw.base]
+	if root == nil || root.Dead {
+		return
+	}
+	root.Hops = 0
+	queue := []int{nw.base}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range nw.adj[cur] {
+			n := nw.nodes[nb]
+			if n.Dead || n.Hops >= 0 {
+				continue
+			}
+			n.Parent = cur
+			n.Hops = nw.nodes[cur].Hops + 1
+			queue = append(queue, nb)
+		}
+	}
+}
+
+// Diameter returns the maximum tree depth among reachable nodes; the catalog
+// feeds this to the federated optimizer.
+func (nw *Network) Diameter() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	max := 0
+	for _, n := range nw.nodes {
+		if n.Hops > max {
+			max = n.Hops
+		}
+	}
+	return max
+}
+
+// HopDist returns the length of the shortest radio path between two alive
+// nodes, or -1 if disconnected. Used by the in-network join placement
+// optimizer.
+func (nw *Network) HopDist(a, b int) int {
+	path := nw.Path(a, b)
+	if path == nil {
+		return -1
+	}
+	return len(path) - 1
+}
+
+// Path returns the node sequence of a shortest radio path from a to b
+// (inclusive), or nil if disconnected or either endpoint is dead.
+func (nw *Network) Path(a, b int) []int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	na, nb := nw.nodes[a], nw.nodes[b]
+	if na == nil || nb == nil || na.Dead || nb.Dead {
+		return nil
+	}
+	if a == b {
+		return []int{a}
+	}
+	prev := map[int]int{a: a}
+	queue := []int{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nbr := range nw.adj[cur] {
+			n := nw.nodes[nbr]
+			if n.Dead {
+				continue
+			}
+			if _, seen := prev[nbr]; seen {
+				continue
+			}
+			prev[nbr] = cur
+			if nbr == b {
+				return reconstruct(prev, a, b)
+			}
+			queue = append(queue, nbr)
+		}
+	}
+	return nil
+}
+
+func reconstruct(prev map[int]int, a, b int) []int {
+	var rev []int
+	for cur := b; ; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == a {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Send transmits a message from a to b along a shortest radio path,
+// charging energy and counting one transmission per hop. It reports whether
+// the message arrived (false on loss, disconnection or death). Size is in
+// abstract message units; a unit is one radio frame.
+func (nw *Network) Send(a, b int, frames int) bool {
+	if frames <= 0 {
+		frames = 1
+	}
+	path := nw.Path(a, b)
+	if path == nil {
+		return false
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for i := 0; i+1 < len(path); i++ {
+		if !nw.hopLocked(path[i], path[i+1], frames) {
+			return false
+		}
+	}
+	return true
+}
+
+// SendToParent transmits one tree hop upward, the TAG aggregation primitive.
+// Returns the parent ID and delivery status; parent == -1 at the base.
+func (nw *Network) SendToParent(id int, frames int) (parent int, ok bool) {
+	if frames <= 0 {
+		frames = 1
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	n := nw.nodes[id]
+	if n == nil || n.Dead || n.Parent < 0 {
+		return -1, false
+	}
+	p := nw.nodes[n.Parent]
+	if p == nil || p.Dead {
+		return -1, false
+	}
+	return n.Parent, nw.hopLocked(id, n.Parent, frames)
+}
+
+// hopLocked performs one radio hop: charge tx on sender, roll loss, charge
+// rx on receiver.
+func (nw *Network) hopLocked(from, to int, frames int) bool {
+	f, t := nw.nodes[from], nw.nodes[to]
+	if f == nil || t == nil || f.Dead || t.Dead {
+		return false
+	}
+	for i := 0; i < frames; i++ {
+		nw.m.Sent++
+		nw.chargeLocked(f, nw.cfg.TxCost)
+		if nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate {
+			nw.m.Dropped++
+			return false
+		}
+		nw.chargeLocked(t, nw.cfg.RxCost)
+		nw.m.Received++
+	}
+	return true
+}
+
+func (nw *Network) chargeLocked(n *Node, mj float64) {
+	if n.ID == nw.base {
+		return // base stations are mains-powered
+	}
+	n.Battery -= mj
+	nw.m.EnergyMJ += mj
+	if n.Battery <= 0 && !n.Dead {
+		n.Dead = true
+		nw.m.DeadNodes++
+		nw.buildTreeLocked()
+	}
+}
+
+// Kill marks a node dead (failure injection) and rebuilds the tree.
+func (nw *Network) Kill(id int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if n := nw.nodes[id]; n != nil && !n.Dead {
+		n.Dead = true
+		nw.m.DeadNodes++
+		nw.buildTreeLocked()
+	}
+}
+
+// Revive restores a dead node with a fresh battery and rebuilds the tree.
+func (nw *Network) Revive(id int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if n := nw.nodes[id]; n != nil && n.Dead {
+		n.Dead = false
+		n.Battery = nw.cfg.InitialBattery
+		nw.m.DeadNodes--
+		nw.buildTreeLocked()
+	}
+}
+
+// Metrics returns a snapshot of the accounting counters.
+func (nw *Network) Metrics() Metrics {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.m
+}
+
+// ResetMetrics zeroes the counters (battery state is preserved).
+func (nw *Network) ResetMetrics() {
+	nw.mu.Lock()
+	nw.m = Metrics{DeadNodes: nw.m.DeadNodes}
+	nw.mu.Unlock()
+}
+
+// MinBattery returns the lowest battery among alive non-base motes; the
+// network "lifetime" metric of experiment E3.
+func (nw *Network) MinBattery() float64 {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	min := math.Inf(1)
+	for _, n := range nw.nodes {
+		if n.Dead || n.ID == nw.base {
+			continue
+		}
+		if n.Battery < min {
+			min = n.Battery
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+func dist(x1, y1, x2, y2 float64) float64 {
+	dx, dy := x1-x2, y1-y2
+	return math.Sqrt(dx*dx + dy*dy)
+}

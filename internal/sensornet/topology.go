@@ -1,0 +1,54 @@
+package sensornet
+
+import "fmt"
+
+// The topology builders below construct the synthetic deployments used by
+// the experiment harness: a hallway line (like the paper's "every 100 feet"
+// corridor placement) and a lab grid of desk motes.
+
+// Line builds a hallway of n motes spaced apart along the x axis, base
+// station at node 0, with the given sensors on every mote. The collection
+// tree is built before returning.
+func Line(cfg Config, n int, spacing float64, sensors ...SensorKind) *Network {
+	nw := New(cfg)
+	for i := 0; i < n; i++ {
+		nw.MustAddNode(Node{
+			ID: i, X: float64(i) * spacing, Y: 0,
+			Room:    fmt.Sprintf("H%d", i/4+1),
+			Sensors: sensors,
+		})
+	}
+	if err := nw.SetBase(0); err != nil {
+		panic(err)
+	}
+	nw.BuildTree()
+	return nw
+}
+
+// Grid builds a rows×cols lab grid of desk motes spaced apart, base station
+// at the (0,0) corner. Each mote is assigned a room of `perRoom` desks in
+// row-major order and a desk number within the room. Every mote carries the
+// given sensors. The collection tree is built before returning.
+func Grid(cfg Config, rows, cols int, spacing float64, perRoom int, sensors ...SensorKind) *Network {
+	if perRoom <= 0 {
+		perRoom = cols
+	}
+	nw := New(cfg)
+	id := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			nw.MustAddNode(Node{
+				ID: id, X: float64(c) * spacing, Y: float64(r) * spacing,
+				Room:    fmt.Sprintf("L%d", id/perRoom+1),
+				Desk:    id%perRoom + 1,
+				Sensors: sensors,
+			})
+			id++
+		}
+	}
+	if err := nw.SetBase(0); err != nil {
+		panic(err)
+	}
+	nw.BuildTree()
+	return nw
+}

@@ -1,0 +1,188 @@
+// Package sql implements the StreamSQL dialect of the ASPEN substrate:
+// standard SQL SELECT blocks extended with stream windows, sensor sampling
+// periods (SAMPLE PERIOD), display routing (OUTPUT TO), view definitions and
+// recursive (transitive closure) queries. Following the paper's Figure 1,
+// `^` is accepted as conjunction alongside AND.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , * . = <> < <= > >= + - / % ^ [ ]
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords uppercased; idents as written
+	pos  int    // byte offset for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "LIKE": true,
+	"IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"CREATE": true, "VIEW": true, "WITH": true, "RECURSIVE": true,
+	"UNION": true, "ALL": true, "RANGE": true, "SLIDE": true,
+	"ROWS": true, "NOW": true, "SAMPLE": true, "PERIOD": true,
+	"OUTPUT": true, "TO": true, "EVERY": true,
+	"SECONDS": true, "SECOND": true, "MINUTES": true, "MINUTE": true,
+	"MILLISECONDS": true, "MILLISECOND": true, "HOURS": true, "HOUR": true,
+}
+
+// lexer produces tokens from a StreamSQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front (queries are short).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+
+	case c == '"':
+		// double-quoted identifier
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokIdent, text: text, pos: start}, nil
+
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokPunct, text: "<>", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected '!' at offset %d", start)
+
+	case strings.IndexByte("(),*.=+-/%^[]", c) >= 0:
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	}
+	return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }

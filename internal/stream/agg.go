@@ -1,0 +1,294 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+)
+
+// AggKind enumerates the aggregate functions of the stream engine.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// ParseAggKind maps a function name from the parser to an AggKind.
+func ParseAggKind(name string) (AggKind, bool) {
+	switch strings.ToLower(name) {
+	case "count":
+		return AggCount, true
+	case "sum":
+		return AggSum, true
+	case "avg":
+		return AggAvg, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	}
+	return 0, false
+}
+
+// String names the kind.
+func (k AggKind) String() string {
+	return [...]string{"count", "sum", "avg", "min", "max"}[k]
+}
+
+// AggSpec is one aggregate column: FUNC(Arg) AS Alias. A nil Arg means
+// COUNT(*).
+type AggSpec struct {
+	Kind  AggKind
+	Arg   expr.Expr
+	Alias string
+}
+
+// Aggregate maintains grouped aggregates incrementally over a delta
+// stream. On every input delta that changes a group's result, it emits a
+// retraction of the group's previous output row followed by an insertion of
+// the new one, so downstream state (materialized displays, HAVING filters)
+// tracks the aggregate exactly.
+type Aggregate struct {
+	next   Operator
+	in     *data.Schema
+	out    *data.Schema
+	keyIdx []int
+	specs  []AggSpec
+	args   []*expr.Compiled // nil entry for COUNT(*)
+	groups map[string]*groupState
+	having *expr.Compiled
+}
+
+type groupState struct {
+	keyVals []data.Value
+	count   int64 // tuples in group
+	aggs    []aggState
+	lastOut []data.Value // previously emitted row (nil if none)
+}
+
+type aggState struct {
+	n   int64 // non-null inputs
+	sum float64
+	// multiset of values for min/max deletion support
+	vals map[float64]int64
+}
+
+// AggOutSchema computes the output schema of a grouped aggregation:
+// grouping columns followed by one column per aggregate (COUNT is INT,
+// the numeric aggregates are FLOAT).
+func AggOutSchema(in *data.Schema, groupBy []string, specs []AggSpec) (*data.Schema, error) {
+	out := &data.Schema{Name: in.Name, IsStream: in.IsStream}
+	for _, g := range groupBy {
+		i, err := in.ColIndex(g)
+		if err != nil {
+			return nil, err
+		}
+		out.Cols = append(out.Cols, in.Cols[i])
+	}
+	for i, s := range specs {
+		typ := data.TInt
+		if s.Arg != nil {
+			c, err := expr.Bind(s.Arg, in)
+			if err != nil {
+				return nil, err
+			}
+			if !c.Type.Numeric() && s.Kind != AggCount {
+				return nil, fmt.Errorf("stream: %s over non-numeric %s", s.Kind, c.Type)
+			}
+			if s.Kind != AggCount {
+				typ = data.TFloat // numeric aggregates are computed in float64
+			}
+		} else if s.Kind != AggCount {
+			return nil, fmt.Errorf("stream: %s requires an argument", s.Kind)
+		}
+		name := s.Alias
+		if name == "" {
+			name = fmt.Sprintf("%s%d", s.Kind, i+1)
+		}
+		out.Cols = append(out.Cols, data.Column{Name: name, Type: typ})
+	}
+	return out, nil
+}
+
+// NewAggregate builds the operator. groupBy names grouping columns in the
+// input schema; having (optional) is evaluated over the output schema.
+func NewAggregate(next Operator, in *data.Schema, groupBy []string, specs []AggSpec, having expr.Expr) (*Aggregate, error) {
+	out, err := AggOutSchema(in, groupBy, specs)
+	if err != nil {
+		return nil, err
+	}
+	a := &Aggregate{next: next, in: in, out: out, specs: specs, groups: map[string]*groupState{}}
+	// keyIdx must stay non-nil: Tuple.KeyOn(nil) means "all columns", but an
+	// empty GROUP BY means one global group (empty key).
+	a.keyIdx = make([]int, 0, len(groupBy))
+	for _, g := range groupBy {
+		i, _ := in.ColIndex(g) // validated by AggOutSchema
+		a.keyIdx = append(a.keyIdx, i)
+	}
+	for _, s := range specs {
+		var c *expr.Compiled
+		if s.Arg != nil {
+			c, err = expr.Bind(s.Arg, in)
+			if err != nil {
+				return nil, err
+			}
+		}
+		a.args = append(a.args, c)
+	}
+	if next.Schema().Arity() != out.Arity() {
+		return nil, fmt.Errorf("stream: aggregate output arity %d does not match downstream %s",
+			out.Arity(), next.Schema())
+	}
+	if having != nil {
+		c, err := expr.Bind(having, out)
+		if err != nil {
+			return nil, err
+		}
+		a.having = c
+	}
+	return a, nil
+}
+
+// Schema implements Operator.
+func (a *Aggregate) Schema() *data.Schema { return a.in }
+
+// OutSchema returns the grouped output schema.
+func (a *Aggregate) OutSchema() *data.Schema { return a.out }
+
+// Push implements Operator.
+func (a *Aggregate) Push(t data.Tuple) {
+	key := t.KeyOn(a.keyIdx)
+	g := a.groups[key]
+	if g == nil {
+		if t.Op == data.Delete {
+			return // deletion for unknown group: ignore
+		}
+		g = &groupState{aggs: make([]aggState, len(a.specs))}
+		for i := range g.aggs {
+			g.aggs[i].vals = map[float64]int64{}
+		}
+		g.keyVals = make([]data.Value, len(a.keyIdx))
+		for i, idx := range a.keyIdx {
+			g.keyVals[i] = t.Vals[idx]
+		}
+		a.groups[key] = g
+	}
+
+	delta := int64(1)
+	if t.Op == data.Delete {
+		delta = -1
+	}
+	g.count += delta
+	for i := range a.specs {
+		st := &g.aggs[i]
+		if a.args[i] == nil { // COUNT(*)
+			st.n += delta
+			continue
+		}
+		v := a.args[i].Eval(t)
+		if v.IsNull() {
+			continue
+		}
+		f := v.AsFloat()
+		st.n += delta
+		st.sum += float64(delta) * f
+		st.vals[f] += delta
+		if st.vals[f] <= 0 {
+			delete(st.vals, f)
+		}
+	}
+	a.emit(key, g, t)
+}
+
+// emit retracts the group's previous row and emits the new one (subject to
+// HAVING). Groups that become empty only retract.
+func (a *Aggregate) emit(key string, g *groupState, cause data.Tuple) {
+	var newOut []data.Value
+	if g.count > 0 {
+		newOut = make([]data.Value, 0, len(g.keyVals)+len(a.specs))
+		newOut = append(newOut, g.keyVals...)
+		for i, s := range a.specs {
+			newOut = append(newOut, g.aggs[i].result(s.Kind))
+		}
+		if a.having != nil && !a.having.EvalVals(newOut).AsBool() {
+			newOut = nil
+		}
+	}
+
+	if g.lastOut != nil {
+		same := newOut != nil && len(newOut) == len(g.lastOut)
+		if same {
+			for i := range newOut {
+				if !(newOut[i].IsNull() && g.lastOut[i].IsNull()) && !newOut[i].Equal(g.lastOut[i]) {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			return // no visible change
+		}
+		a.next.Push(data.Tuple{Vals: g.lastOut, TS: cause.TS, Op: data.Delete})
+		g.lastOut = nil
+	}
+	if newOut != nil {
+		a.next.Push(data.Tuple{Vals: newOut, TS: cause.TS, Op: data.Insert})
+		g.lastOut = newOut
+	}
+	if g.count <= 0 {
+		delete(a.groups, key)
+	}
+}
+
+// result finalizes one aggregate from its state.
+func (st *aggState) result(k AggKind) data.Value {
+	switch k {
+	case AggCount:
+		return data.Int(st.n)
+	case AggSum:
+		if st.n == 0 {
+			return data.Null
+		}
+		return data.Float(st.sum)
+	case AggAvg:
+		if st.n == 0 {
+			return data.Null
+		}
+		return data.Float(st.sum / float64(st.n))
+	case AggMin:
+		if len(st.vals) == 0 {
+			return data.Null
+		}
+		first := true
+		min := 0.0
+		for v := range st.vals {
+			if first || v < min {
+				min, first = v, false
+			}
+		}
+		return data.Float(min)
+	case AggMax:
+		if len(st.vals) == 0 {
+			return data.Null
+		}
+		first := true
+		max := 0.0
+		for v := range st.vals {
+			if first || v > max {
+				max, first = v, false
+			}
+		}
+		return data.Float(max)
+	}
+	return data.Null
+}
+
+// Groups reports the live group count (for plan displays).
+func (a *Aggregate) Groups() int { return len(a.groups) }

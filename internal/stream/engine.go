@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"aspen/internal/data"
+	"aspen/internal/vtime"
+)
+
+// Engine is one stream-engine node (a PC in the paper's architecture). It
+// owns named input streams, the operator pipelines subscribed to them, and
+// the display sinks that OUTPUT TO routes to.
+//
+// Execution is synchronous push under a per-engine lock: a Push drives the
+// tuple through every subscribed pipeline before returning, which keeps
+// single-node tests deterministic. Cross-node parallelism comes from the
+// exchange layer (transport.go), where each remote link feeds this engine
+// from its own goroutine.
+type Engine struct {
+	mu       sync.Mutex
+	name     string
+	clock    vtime.Clock
+	inputs   map[string]*Input
+	displays map[string]*Materialize
+	advs     []Advancer
+}
+
+// NewEngine creates a named engine node.
+func NewEngine(name string, clock vtime.Clock) *Engine {
+	if clock == nil {
+		clock = vtime.NewWallClock()
+	}
+	return &Engine{
+		name:     name,
+		clock:    clock,
+		inputs:   map[string]*Input{},
+		displays: map[string]*Materialize{},
+	}
+}
+
+// Name returns the node name.
+func (e *Engine) Name() string { return e.name }
+
+// Clock returns the engine clock.
+func (e *Engine) Clock() vtime.Clock { return e.clock }
+
+// Input is a named stream entry point with fan-out to subscribers.
+type Input struct {
+	name   string
+	schema *data.Schema
+	engine *Engine
+	subs   []Operator
+}
+
+// Register declares a named input stream. Duplicate names fail.
+func (e *Engine) Register(name string, schema *data.Schema) (*Input, error) {
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.inputs[key]; dup {
+		return nil, fmt.Errorf("stream: duplicate input %q", name)
+	}
+	in := &Input{name: name, schema: schema, engine: e}
+	e.inputs[key] = in
+	return in, nil
+}
+
+// MustRegister registers a statically known input; panics on error.
+func (e *Engine) MustRegister(name string, schema *data.Schema) *Input {
+	in, err := e.Register(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Input resolves a registered input by name.
+func (e *Engine) Input(name string) (*Input, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	in, ok := e.inputs[strings.ToLower(name)]
+	return in, ok
+}
+
+// Inputs lists registered input names, sorted.
+func (e *Engine) Inputs() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.inputs))
+	for _, in := range e.inputs {
+		out = append(out, in.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Schema returns the input's schema.
+func (in *Input) Schema() *data.Schema { return in.schema }
+
+// Name returns the input's name.
+func (in *Input) Name() string { return in.name }
+
+// Subscribe attaches a pipeline head to this input.
+func (in *Input) Subscribe(op Operator) {
+	in.engine.mu.Lock()
+	in.subs = append(in.subs, op)
+	in.engine.mu.Unlock()
+}
+
+// Push injects a tuple into the input, driving all subscribed pipelines.
+// A zero timestamp is stamped with the engine clock.
+func (in *Input) Push(t data.Tuple) {
+	if t.TS == 0 {
+		t.TS = in.engine.clock.Now()
+	}
+	in.engine.mu.Lock()
+	subs := in.subs
+	in.engine.mu.Unlock()
+	for _, op := range subs {
+		op.Push(t.Clone())
+	}
+}
+
+// Push routes a tuple to the named input.
+func (e *Engine) Push(input string, t data.Tuple) error {
+	in, ok := e.Input(input)
+	if !ok {
+		return fmt.Errorf("stream: no input %q on node %s", input, e.name)
+	}
+	in.Push(t)
+	return nil
+}
+
+// TrackWindow registers a window (or any Advancer) for clock ticks.
+func (e *Engine) TrackWindow(a Advancer) {
+	e.mu.Lock()
+	e.advs = append(e.advs, a)
+	e.mu.Unlock()
+}
+
+// Advance ticks every tracked window to the given instant, expiring state
+// during stream silence.
+func (e *Engine) Advance(now vtime.Time) {
+	e.mu.Lock()
+	advs := e.advs
+	e.mu.Unlock()
+	for _, a := range advs {
+		a.Advance(now)
+	}
+}
+
+// Display returns (creating on first use) the materialized view behind a
+// named display endpoint; OUTPUT TO d routes here.
+func (e *Engine) Display(name string, schema *data.Schema) *Materialize {
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.displays[key]; ok {
+		return m
+	}
+	m := NewMaterialize(schema)
+	e.displays[key] = m
+	return m
+}
+
+// Displays lists display names, sorted.
+func (e *Engine) Displays() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.displays))
+	for k := range e.displays {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

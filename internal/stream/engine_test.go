@@ -1,0 +1,233 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+	"aspen/internal/vtime"
+)
+
+func TestEngineRegisterAndPush(t *testing.T) {
+	sched := vtime.NewScheduler()
+	e := NewEngine("node1", sched)
+	in := e.MustRegister("Temps", tempSchema())
+	if _, err := e.Register("temps", tempSchema()); err == nil {
+		t.Fatal("case-insensitive duplicate accepted")
+	}
+	col := NewCollector(tempSchema())
+	in.Subscribe(col)
+	if err := e.Push("TEMPS", temp(1, "L1", 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push("missing", temp(1, "L1", 20)); err == nil {
+		t.Fatal("push to missing input accepted")
+	}
+	if col.Len() != 1 {
+		t.Fatal("tuple lost")
+	}
+	if got := e.Inputs(); len(got) != 1 || got[0] != "Temps" {
+		t.Fatalf("inputs = %v", got)
+	}
+	if e.Name() != "node1" || e.Clock() != vtime.Clock(sched) {
+		t.Fatal("identity accessors")
+	}
+}
+
+func TestEngineStampsZeroTimestamps(t *testing.T) {
+	sched := vtime.NewScheduler()
+	sched.At(5*vtime.Second, func() {})
+	sched.Run()
+	e := NewEngine("n", sched)
+	in := e.MustRegister("s", tempSchema())
+	col := NewCollector(tempSchema())
+	in.Subscribe(col)
+	in.Push(data.NewTuple(0, data.Str("a"), data.Float(1)))
+	if got := col.Snapshot()[0].TS; got != 5*vtime.Second {
+		t.Fatalf("stamped ts = %v", got)
+	}
+	// explicit timestamps pass through
+	in.Push(data.NewTuple(3, data.Str("a"), data.Float(1)))
+	if got := col.Snapshot()[1].TS; got != 3 {
+		t.Fatalf("explicit ts = %v", got)
+	}
+}
+
+func TestEngineFanout(t *testing.T) {
+	e := NewEngine("n", vtime.NewScheduler())
+	in := e.MustRegister("s", tempSchema())
+	a, b := NewCollector(tempSchema()), NewCollector(tempSchema())
+	in.Subscribe(a)
+	in.Subscribe(b)
+	in.Push(temp(1, "L1", 20))
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatal("fanout failed")
+	}
+	// isolation between subscribers
+	a.Snapshot()[0].Vals[0] = data.Str("X")
+	if b.Snapshot()[0].Vals[0].AsString() != "L1" {
+		t.Fatal("subscribers share tuple storage")
+	}
+}
+
+func TestEngineAdvanceTicksWindows(t *testing.T) {
+	e := NewEngine("n", vtime.NewScheduler())
+	in := e.MustRegister("s", tempSchema())
+	col := NewCollector(tempSchema())
+	w := NewTimeWindow(col, 10*time.Second, 0)
+	e.TrackWindow(w)
+	in.Subscribe(w)
+	in.Push(at(1, "a", 1))
+	e.Advance(30 * vtime.Second)
+	got := col.Snapshot()
+	if len(got) != 2 || got[1].Op != data.Delete {
+		t.Fatalf("advance: %v", got)
+	}
+}
+
+func TestEngineDisplays(t *testing.T) {
+	e := NewEngine("n", vtime.NewScheduler())
+	d1 := e.Display("lobby", tempSchema())
+	d2 := e.Display("LOBBY", tempSchema())
+	if d1 != d2 {
+		t.Fatal("display identity not case-insensitive")
+	}
+	d1.Push(temp(1, "L1", 20))
+	if d2.Len() != 1 {
+		t.Fatal("display state lost")
+	}
+	if got := e.Displays(); len(got) != 1 || got[0] != "lobby" {
+		t.Fatalf("displays = %v", got)
+	}
+}
+
+func TestMaterializeSnapshotOrderLimit(t *testing.T) {
+	m := NewMaterialize(tempSchema())
+	m.Push(temp(1, "b", 2))
+	m.Push(temp(2, "a", 1))
+	m.Push(temp(3, "c", 3))
+	snap := m.MustSnapshot([]OrderSpec{{Col: "room"}}, -1)
+	if snap[0].Vals[0].AsString() != "a" || snap[2].Vals[0].AsString() != "c" {
+		t.Fatalf("asc = %v", snap)
+	}
+	desc := m.MustSnapshot([]OrderSpec{{Col: "temp", Desc: true}}, 2)
+	if len(desc) != 2 || desc[0].Vals[1].AsFloat() != 3 {
+		t.Fatalf("desc limit = %v", desc)
+	}
+	if _, err := m.Snapshot([]OrderSpec{{Col: "zz"}}, -1); err == nil {
+		t.Fatal("bad order column accepted")
+	}
+}
+
+func TestMaterializeMultiplicityAndVersion(t *testing.T) {
+	m := NewMaterialize(tempSchema())
+	v0 := m.Version()
+	a := temp(1, "a", 1)
+	m.Push(a)
+	m.Push(a) // duplicate row: multiplicity 2
+	if m.Len() != 1 {
+		t.Fatalf("distinct rows = %d", m.Len())
+	}
+	snap := m.MustSnapshot(nil, -1)
+	if len(snap) != 2 {
+		t.Fatalf("multiset snapshot = %v", snap)
+	}
+	m.Push(a.Negate())
+	if len(m.MustSnapshot(nil, -1)) != 1 {
+		t.Fatal("multiplicity decrement failed")
+	}
+	m.Push(a.Negate())
+	if m.Len() != 0 {
+		t.Fatal("row not removed at zero")
+	}
+	if m.Version() == v0 {
+		t.Fatal("version not bumped")
+	}
+	// deleting a missing row is a no-op
+	m.Push(temp(9, "zz", 0).Negate())
+	if m.Len() != 0 {
+		t.Fatal("phantom row")
+	}
+}
+
+func TestMaterializeOnChange(t *testing.T) {
+	m := NewMaterialize(tempSchema())
+	fired := 0
+	m.OnChange = func() { fired++ }
+	m.Push(temp(1, "a", 1))
+	if fired != 1 {
+		t.Fatalf("OnChange fired %d times", fired)
+	}
+}
+
+func TestMaterializeNullOrdering(t *testing.T) {
+	m := NewMaterialize(tempSchema())
+	m.Push(data.NewTuple(1, data.Str("a"), data.Null))
+	m.Push(data.NewTuple(2, data.Str("b"), data.Float(1)))
+	snap := m.MustSnapshot([]OrderSpec{{Col: "temp"}}, -1)
+	if !snap[0].Vals[1].IsNull() {
+		t.Fatalf("nulls should sort first asc: %v", snap)
+	}
+	desc := m.MustSnapshot([]OrderSpec{{Col: "temp", Desc: true}}, -1)
+	if !desc[1].Vals[1].IsNull() {
+		t.Fatalf("nulls should sort last desc: %v", desc)
+	}
+}
+
+func TestMustSnapshotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMaterialize(tempSchema()).MustSnapshot([]OrderSpec{{Col: "nope"}}, -1)
+}
+
+// End-to-end single-node pipeline: window → filter → join → aggregate →
+// materialize, mirroring the paper's workstation-monitoring query shape.
+func TestEnginePipelineEndToEnd(t *testing.T) {
+	e := NewEngine("pc1", vtime.NewScheduler())
+	temps := e.MustRegister("Temps", tempSchema())
+
+	seat := data.NewSchema("ss", data.Col("room", data.TString), data.Col("occupied", data.TBool))
+	seat.IsStream = true
+	seats := e.MustRegister("Seats", seat)
+
+	outSchema, err := AggOutSchema(tempSchema().Concat(seat), []string{"t.room"},
+		[]AggSpec{{Kind: AggAvg, Arg: expr.C("temp"), Alias: "avgtemp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := NewMaterialize(outSchema)
+	agg, err := NewAggregate(mat, tempSchema().Concat(seat), []string{"t.room"},
+		[]AggSpec{{Kind: AggAvg, Arg: expr.C("temp"), Alias: "avgtemp"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJoin(agg, tempSchema(), seat, []string{"t.room"}, []string{"ss.room"},
+		expr.Eq(expr.C("occupied"), expr.L(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := NewTimeWindow(j.Left(), time.Minute, 0)
+	ws := NewTimeWindow(j.Right(), time.Minute, 0)
+	e.TrackWindow(wt)
+	e.TrackWindow(ws)
+	temps.Subscribe(wt)
+	seats.Subscribe(ws)
+
+	seats.Push(data.NewTuple(vtime.Second, data.Str("L1"), data.Bool(true)))
+	seats.Push(data.NewTuple(vtime.Second, data.Str("L2"), data.Bool(false)))
+	temps.Push(at(2, "L1", 30))
+	temps.Push(at(2, "L1", 20))
+	temps.Push(at(2, "L2", 99)) // unoccupied: filtered by residual
+
+	snap := mat.MustSnapshot([]OrderSpec{{Col: "room"}}, -1)
+	if len(snap) != 1 {
+		t.Fatalf("rows = %v", snap)
+	}
+	if snap[0].Vals[0].AsString() != "L1" || snap[0].Vals[1].AsFloat() != 25 {
+		t.Fatalf("result = %v", snap)
+	}
+}

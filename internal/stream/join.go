@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"fmt"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+)
+
+// Join is a symmetric hash join over two delta streams. Each side maintains
+// a hash table of its current contents (window state arrives as +/- deltas
+// from upstream Window operators); an insertion probes the opposite table
+// and emits joined insertions, a deletion emits joined retractions. The
+// result is exactly the join of the two windows at every instant.
+type Join struct {
+	next Operator
+
+	left, right     *data.Schema
+	out             *data.Schema
+	lKey, rKey      []int // equi-join column indexes
+	residual        *expr.Compiled
+	lTable          map[string][]data.Tuple
+	rTable          map[string][]data.Tuple
+	leftIn, rightIn joinInput
+}
+
+type joinInput struct {
+	j    *Join
+	left bool
+}
+
+// Schema implements Operator.
+func (ji *joinInput) Schema() *data.Schema {
+	if ji.left {
+		return ji.j.left
+	}
+	return ji.j.right
+}
+
+// Push implements Operator.
+func (ji *joinInput) Push(t data.Tuple) { ji.j.push(t, ji.left) }
+
+// NewJoin builds a symmetric hash join. lCols/rCols name the equi-join
+// keys (same length, possibly empty for a pure cross/residual join);
+// residual is an optional extra predicate over the concatenated schema.
+func NewJoin(next Operator, left, right *data.Schema, lCols, rCols []string, residual expr.Expr) (*Join, error) {
+	if len(lCols) != len(rCols) {
+		return nil, fmt.Errorf("stream: join key arity mismatch: %v vs %v", lCols, rCols)
+	}
+	out := left.Concat(right)
+	j := &Join{
+		next: next, left: left, right: right, out: out,
+		lTable: map[string][]data.Tuple{}, rTable: map[string][]data.Tuple{},
+	}
+	for _, c := range lCols {
+		i, err := left.ColIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		j.lKey = append(j.lKey, i)
+	}
+	for _, c := range rCols {
+		i, err := right.ColIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		j.rKey = append(j.rKey, i)
+	}
+	if residual != nil {
+		c, err := expr.Bind(residual, out)
+		if err != nil {
+			return nil, err
+		}
+		j.residual = c
+	}
+	if next.Schema().Arity() != out.Arity() {
+		return nil, fmt.Errorf("stream: join output arity %d does not match downstream %s",
+			out.Arity(), next.Schema())
+	}
+	j.leftIn = joinInput{j: j, left: true}
+	j.rightIn = joinInput{j: j, left: false}
+	return j, nil
+}
+
+// Left returns the operator accepting the left input stream.
+func (j *Join) Left() Operator { return &j.leftIn }
+
+// Right returns the operator accepting the right input stream.
+func (j *Join) Right() Operator { return &j.rightIn }
+
+// OutSchema returns the concatenated output schema.
+func (j *Join) OutSchema() *data.Schema { return j.out }
+
+func (j *Join) push(t data.Tuple, fromLeft bool) {
+	var mine, other map[string][]data.Tuple
+	var myKey []int
+	if fromLeft {
+		mine, other, myKey = j.lTable, j.rTable, j.lKey
+	} else {
+		mine, other, myKey = j.rTable, j.lTable, j.rKey
+	}
+	key := t.KeyOn(myKey)
+
+	switch t.Op {
+	case data.Insert:
+		mine[key] = append(mine[key], t)
+	case data.Delete:
+		bucket := mine[key]
+		for i, b := range bucket {
+			if b.EqualVals(t) {
+				mine[key] = append(bucket[:i], bucket[i+1:]...)
+				if len(mine[key]) == 0 {
+					delete(mine, key)
+				}
+				break
+			}
+		}
+	}
+
+	for _, m := range other[key] {
+		var joined data.Tuple
+		if fromLeft {
+			joined = t.Concat(m)
+		} else {
+			joined = m.Concat(t)
+		}
+		joined.Op = t.Op
+		if joined.TS < t.TS {
+			joined.TS = t.TS
+		}
+		if j.residual != nil && !j.residual.EvalBool(joined) {
+			continue
+		}
+		j.next.Push(joined)
+	}
+}
+
+// SizeLeft and SizeRight report table populations for plan displays.
+func (j *Join) SizeLeft() int { return tableSize(j.lTable) }
+
+// SizeRight reports the right table population.
+func (j *Join) SizeRight() int { return tableSize(j.rTable) }
+
+func tableSize(m map[string][]data.Tuple) int {
+	n := 0
+	for _, b := range m {
+		n += len(b)
+	}
+	return n
+}

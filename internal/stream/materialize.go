@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aspen/internal/data"
+)
+
+// OrderSpec is one sort key for snapshots.
+type OrderSpec struct {
+	Col  string
+	Desc bool
+}
+
+// Materialize maintains the current multiset of result tuples of a
+// continuous query. Displays take ordered snapshots from it — this is how
+// ORDER BY / LIMIT are given meaning over unbounded streams, and how the
+// SmartCIS GUI renders live results (§4).
+type Materialize struct {
+	mu     sync.Mutex
+	schema *data.Schema
+	rows   map[string]*matRow
+	// OnChange, when set, fires after every mutation; the GUI uses it to
+	// repaint.
+	OnChange func()
+	version  uint64
+}
+
+type matRow struct {
+	t     data.Tuple
+	count int
+}
+
+// NewMaterialize creates an empty materialized result with the schema.
+func NewMaterialize(schema *data.Schema) *Materialize {
+	return &Materialize{schema: schema, rows: map[string]*matRow{}}
+}
+
+// Schema implements Operator.
+func (m *Materialize) Schema() *data.Schema { return m.schema }
+
+// Push implements Operator.
+func (m *Materialize) Push(t data.Tuple) {
+	m.mu.Lock()
+	key := t.Key()
+	switch t.Op {
+	case data.Insert:
+		if r := m.rows[key]; r != nil {
+			r.count++
+		} else {
+			m.rows[key] = &matRow{t: t.Clone(), count: 1}
+		}
+	case data.Delete:
+		if r := m.rows[key]; r != nil {
+			r.count--
+			if r.count <= 0 {
+				delete(m.rows, key)
+			}
+		}
+	}
+	m.version++
+	cb := m.OnChange
+	m.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+// Len returns the number of distinct rows currently in the result.
+func (m *Materialize) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.rows)
+}
+
+// Version increments on every mutation; displays poll it cheaply.
+func (m *Materialize) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// Snapshot returns the current result ordered by the given keys (ties
+// broken by canonical key for determinism), truncated to limit when
+// limit >= 0. Duplicate rows appear with their multiplicity.
+func (m *Materialize) Snapshot(order []OrderSpec, limit int) ([]data.Tuple, error) {
+	idx := make([]int, len(order))
+	for i, o := range order {
+		j, err := m.schema.ColIndex(o.Col)
+		if err != nil {
+			return nil, fmt.Errorf("stream: snapshot order: %w", err)
+		}
+		idx[i] = j
+	}
+	m.mu.Lock()
+	out := make([]data.Tuple, 0, len(m.rows))
+	for _, r := range m.rows {
+		for i := 0; i < r.count; i++ {
+			out = append(out, r.t.Clone())
+		}
+	}
+	m.mu.Unlock()
+
+	sort.Slice(out, func(a, b int) bool {
+		for k, j := range idx {
+			c, ok := out[a].Vals[j].Compare(out[b].Vals[j])
+			if !ok || c == 0 {
+				// NULLs and ties fall through to the next key
+				if ok && c == 0 {
+					continue
+				}
+				// order NULLs first deterministically
+				an, bn := out[a].Vals[j].IsNull(), out[b].Vals[j].IsNull()
+				if an != bn {
+					return an && !order[k].Desc || !an && order[k].Desc
+				}
+				continue
+			}
+			if order[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return out[a].Key() < out[b].Key()
+	})
+	if limit >= 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// MustSnapshot is Snapshot for statically correct order keys.
+func (m *Materialize) MustSnapshot(order []OrderSpec, limit int) []data.Tuple {
+	out, err := m.Snapshot(order, limit)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package stream implements ASPEN's distributed stream engine (Fig. 1,
+// "Stream Engine (on PCs)"): push-based relational operators over
+// timestamped delta streams, windows, symmetric hash joins, incremental
+// grouped aggregation, materialized results for display, and an exchange
+// layer that ships tuples between engine nodes in-process or over TCP.
+//
+// Every operator processes tuples carrying an insert/delete polarity
+// (data.Op). Windows emit deletions as tuples expire, so joins and
+// aggregates downstream stay incrementally correct — the same machinery the
+// recursive view maintenance of internal/views builds on (paper ref [11]).
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+	"aspen/internal/vtime"
+)
+
+// Operator is a push-based tuple consumer.
+type Operator interface {
+	// Schema describes the tuples this operator accepts.
+	Schema() *data.Schema
+	// Push processes one tuple (insert or delete).
+	Push(t data.Tuple)
+}
+
+// Advancer is implemented by operators with time-driven state (windows);
+// the engine ticks them so expiry happens even when a stream goes quiet.
+type Advancer interface {
+	Advance(now vtime.Time)
+}
+
+// Filter drops tuples failing a predicate. Polarity passes through
+// unchanged: a deletion of a tuple that passed is a deletion downstream.
+type Filter struct {
+	next Operator
+	pred *expr.Compiled
+}
+
+// NewFilter builds a filter in front of next.
+func NewFilter(next Operator, pred *expr.Compiled) *Filter {
+	return &Filter{next: next, pred: pred}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *data.Schema { return f.next.Schema() }
+
+// Push implements Operator.
+func (f *Filter) Push(t data.Tuple) {
+	if f.pred.EvalBool(t) {
+		f.next.Push(t)
+	}
+}
+
+// Project maps tuples through scalar expressions.
+type Project struct {
+	next   Operator
+	exprs  []*expr.Compiled
+	schema *data.Schema
+}
+
+// ProjectItem is one projected expression with an optional alias.
+type ProjectItem struct {
+	Expr  expr.Expr
+	Alias string
+}
+
+// NewProject builds a projection in front of next, which must accept
+// exactly len(items) columns.
+func NewProject(next Operator, in *data.Schema, items []ProjectItem) (*Project, error) {
+	if next.Schema().Arity() != len(items) {
+		return nil, fmt.Errorf("stream: projection arity %d does not match downstream %s",
+			len(items), next.Schema())
+	}
+	exprs := make([]*expr.Compiled, len(items))
+	for i, it := range items {
+		c, err := expr.Bind(it.Expr, in)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = c
+	}
+	return &Project{next: next, exprs: exprs, schema: in}, nil
+}
+
+// OutSchema computes the schema a projection over in would produce:
+// aliases become column names; bare column references keep their qualified
+// names; other expressions get positional names.
+func OutSchema(in *data.Schema, items []ProjectItem) (*data.Schema, error) {
+	out := &data.Schema{Name: in.Name, IsStream: in.IsStream}
+	for i, it := range items {
+		c, err := expr.Bind(it.Expr, in)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		rel := ""
+		if name == "" {
+			if col, ok := it.Expr.(expr.Col); ok {
+				rel, name = data.SplitQualified(col.Ref)
+			} else {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		out.Cols = append(out.Cols, data.Column{Rel: rel, Name: name, Type: c.Type})
+	}
+	return out, nil
+}
+
+// Schema implements Operator (input schema).
+func (p *Project) Schema() *data.Schema { return p.schema }
+
+// Push implements Operator.
+func (p *Project) Push(t data.Tuple) {
+	vals := make([]data.Value, len(p.exprs))
+	for i, e := range p.exprs {
+		vals[i] = e.Eval(t)
+	}
+	p.next.Push(data.Tuple{Vals: vals, TS: t.TS, Op: t.Op})
+}
+
+// Distinct enforces set semantics over a delta stream using multiplicity
+// counting: an insert is forwarded only on 0→1, a delete only on 1→0.
+type Distinct struct {
+	next   Operator
+	counts map[string]int
+}
+
+// NewDistinct builds a distinct operator.
+func NewDistinct(next Operator) *Distinct {
+	return &Distinct{next: next, counts: map[string]int{}}
+}
+
+// Schema implements Operator.
+func (d *Distinct) Schema() *data.Schema { return d.next.Schema() }
+
+// Push implements Operator.
+func (d *Distinct) Push(t data.Tuple) {
+	k := t.Key()
+	switch t.Op {
+	case data.Insert:
+		d.counts[k]++
+		if d.counts[k] == 1 {
+			d.next.Push(t)
+		}
+	case data.Delete:
+		if d.counts[k] == 0 {
+			return // deletion of an unseen tuple: ignore
+		}
+		d.counts[k]--
+		if d.counts[k] == 0 {
+			delete(d.counts, k)
+			d.next.Push(t)
+		}
+	}
+}
+
+// Tee duplicates a stream to several consumers.
+type Tee struct {
+	outs []Operator
+}
+
+// NewTee fans out to the given consumers (all must share a schema).
+func NewTee(outs ...Operator) *Tee { return &Tee{outs: outs} }
+
+// Schema implements Operator.
+func (t *Tee) Schema() *data.Schema {
+	if len(t.outs) == 0 {
+		return &data.Schema{}
+	}
+	return t.outs[0].Schema()
+}
+
+// Push implements Operator.
+func (t *Tee) Push(tu data.Tuple) {
+	for _, o := range t.outs {
+		o.Push(tu.Clone())
+	}
+}
+
+// Callback adapts a function to Operator; the engine's leaf sink.
+type Callback struct {
+	schema *data.Schema
+	fn     func(data.Tuple)
+}
+
+// NewCallback wraps fn as an operator with the given schema.
+func NewCallback(schema *data.Schema, fn func(data.Tuple)) *Callback {
+	return &Callback{schema: schema, fn: fn}
+}
+
+// Schema implements Operator.
+func (c *Callback) Schema() *data.Schema { return c.schema }
+
+// Push implements Operator.
+func (c *Callback) Push(t data.Tuple) { c.fn(t) }
+
+// Collector accumulates pushed tuples; a test and example helper.
+type Collector struct {
+	mu     sync.Mutex
+	schema *data.Schema
+	Tuples []data.Tuple
+}
+
+// NewCollector creates a collector with the given schema.
+func NewCollector(schema *data.Schema) *Collector { return &Collector{schema: schema} }
+
+// Schema implements Operator.
+func (c *Collector) Schema() *data.Schema { return c.schema }
+
+// Push implements Operator.
+func (c *Collector) Push(t data.Tuple) {
+	c.mu.Lock()
+	c.Tuples = append(c.Tuples, t.Clone())
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of everything collected so far.
+func (c *Collector) Snapshot() []data.Tuple {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]data.Tuple, len(c.Tuples))
+	copy(out, c.Tuples)
+	return out
+}
+
+// Len returns the number of collected tuples.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.Tuples)
+}
+
+// Reset clears the collector.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.Tuples = nil
+	c.mu.Unlock()
+}
+
+// SortTuples orders tuples by canonical key; deterministic test helper.
+func SortTuples(ts []data.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
+}

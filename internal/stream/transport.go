@@ -1,0 +1,196 @@
+package stream
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"aspen/internal/data"
+)
+
+// The exchange layer ships tuples between stream-engine nodes. Inside one
+// process, InProc wires engines directly; across machines, Server/Remote
+// speak a gob-encoded frame protocol over TCP. Both implement Transport, so
+// plan deployment does not care where a node runs — the "distributed stream
+// engine over PCs" of §3.
+
+// Transport delivers tuples to a (possibly remote) engine's named input.
+type Transport interface {
+	// Send delivers one tuple to the named input.
+	Send(input string, t data.Tuple) error
+	// Close releases the link.
+	Close() error
+}
+
+// frame is the wire format.
+type frame struct {
+	Input string
+	Tuple data.Tuple
+}
+
+// InProc is a Transport bound directly to a local engine.
+type InProc struct{ e *Engine }
+
+// NewInProc wraps an engine as a transport.
+func NewInProc(e *Engine) *InProc { return &InProc{e: e} }
+
+// Send implements Transport.
+func (p *InProc) Send(input string, t data.Tuple) error { return p.e.Push(input, t) }
+
+// Close implements Transport.
+func (p *InProc) Close() error { return nil }
+
+// Server accepts TCP connections and pushes decoded frames into a local
+// engine. Decode errors terminate only the offending connection.
+type Server struct {
+	e  *Engine
+	l  net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer starts serving on addr (use "127.0.0.1:0" for an ephemeral
+// port).
+func NewServer(e *Engine, addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: listen: %w", err)
+	}
+	s := &Server{e: e, l: l, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Malformed peer: drop the connection, keep the engine up.
+				return
+			}
+			return
+		}
+		// Unknown inputs are dropped with no way to NACK mid-stream; the
+		// sender validated the deployment before wiring.
+		_ = s.e.Push(f.Input, f.Tuple)
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Remote is a TCP Transport to a Server.
+type Remote struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// Dial connects to a remote engine server.
+func Dial(addr string) (*Remote, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
+	}
+	return &Remote{conn: conn, enc: gob.NewEncoder(conn)}, nil
+}
+
+// Send implements Transport.
+func (r *Remote) Send(input string, t data.Tuple) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(frame{Input: input, Tuple: t}); err != nil {
+		return fmt.Errorf("stream: send to %s: %w", r.conn.RemoteAddr(), err)
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (r *Remote) Close() error { return r.conn.Close() }
+
+// Ship is an Operator that forwards its stream over a Transport; placing a
+// Ship at a plan cut sends that subplan's output to another node.
+type Ship struct {
+	schema *data.Schema
+	input  string
+	t      Transport
+	// OnError observes delivery failures (default: drop silently, as a
+	// lossy WAN link would).
+	OnError func(error)
+	sent    int64
+}
+
+// NewShip builds a shipping operator delivering to input over t.
+func NewShip(schema *data.Schema, input string, t Transport) *Ship {
+	return &Ship{schema: schema, input: input, t: t}
+}
+
+// Schema implements Operator.
+func (s *Ship) Schema() *data.Schema { return s.schema }
+
+// Push implements Operator.
+func (s *Ship) Push(t data.Tuple) {
+	if err := s.t.Send(s.input, t); err != nil {
+		if s.OnError != nil {
+			s.OnError(err)
+		}
+		return
+	}
+	s.sent++
+}
+
+// Sent reports successfully shipped tuples.
+func (s *Ship) Sent() int64 { return s.sent }

@@ -1,0 +1,191 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+	"aspen/internal/vtime"
+)
+
+func TestInProcTransport(t *testing.T) {
+	e := NewEngine("local", vtime.NewScheduler())
+	in := e.MustRegister("s", tempSchema())
+	col := NewCollector(tempSchema())
+	in.Subscribe(col)
+
+	tr := NewInProc(e)
+	if err := tr.Send("s", temp(1, "L1", 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send("missing", temp(1, "L1", 20)); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 1 {
+		t.Fatal("tuple lost")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestTCPTransportDelivers(t *testing.T) {
+	remote := NewEngine("remote", vtime.NewScheduler())
+	in := remote.MustRegister("s", tempSchema())
+	col := NewCollector(tempSchema())
+	in.Subscribe(col)
+
+	srv, err := NewServer(remote, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := cl.Send("s", temp(int64(i), "L1", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return col.Len() == 10 })
+	got := col.Snapshot()
+	// ordering preserved on one connection
+	for i := 0; i < 10; i++ {
+		if got[i].Vals[1].AsFloat() != float64(i) {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+	// polarity survives the wire
+	if err := cl.Send("s", temp(99, "L1", 0).Negate()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return col.Len() == 11 })
+	if col.Snapshot()[10].Op != data.Delete {
+		t.Fatal("polarity lost on wire")
+	}
+}
+
+func TestTCPTransportUnknownInputDropped(t *testing.T) {
+	remote := NewEngine("remote", vtime.NewScheduler())
+	srv, err := NewServer(remote, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Unknown input must not kill the connection.
+	if err := cl.Send("nowhere", temp(1, "L1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	in := remote.MustRegister("s", tempSchema())
+	col := NewCollector(tempSchema())
+	in.Subscribe(col)
+	if err := cl.Send("s", temp(2, "L1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return col.Len() == 1 })
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port should fail")
+	}
+}
+
+func TestShipOperator(t *testing.T) {
+	e := NewEngine("n", vtime.NewScheduler())
+	in := e.MustRegister("s", tempSchema())
+	col := NewCollector(tempSchema())
+	in.Subscribe(col)
+
+	ship := NewShip(tempSchema(), "s", NewInProc(e))
+	ship.Push(temp(1, "L1", 20))
+	if ship.Sent() != 1 || col.Len() != 1 {
+		t.Fatal("ship failed")
+	}
+	if ship.Schema().Arity() != 2 {
+		t.Fatal("ship schema")
+	}
+	// failed sends invoke OnError and are not counted
+	var gotErr error
+	bad := NewShip(tempSchema(), "missing", NewInProc(e))
+	bad.OnError = func(err error) { gotErr = err }
+	bad.Push(temp(1, "L1", 20))
+	if bad.Sent() != 0 || gotErr == nil {
+		t.Fatal("ship error path")
+	}
+	// without OnError the failure is silent
+	bad2 := NewShip(tempSchema(), "missing", NewInProc(e))
+	bad2.Push(temp(1, "L1", 20))
+	if bad2.Sent() != 0 {
+		t.Fatal("silent drop")
+	}
+}
+
+// Distributed plan: a filter runs on node A, ships to node B, which joins
+// with a local stream — the paper's "computation pushed where appropriate".
+func TestTwoNodeDistributedPipeline(t *testing.T) {
+	nodeB := NewEngine("pcB", vtime.NewScheduler())
+	shipped := nodeB.MustRegister("TempsFiltered", tempSchema())
+	seat := data.NewSchema("ss", data.Col("room", data.TString))
+	seat.IsStream = true
+	seats := nodeB.MustRegister("Seats", seat)
+
+	mat := NewMaterialize(tempSchema().Concat(seat))
+	j, err := NewJoin(mat, tempSchema(), seat, []string{"t.room"}, []string{"ss.room"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped.Subscribe(j.Left())
+	seats.Subscribe(j.Right())
+
+	srv, err := NewServer(nodeB, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// node A: filter hot temps, ship the survivors to node B.
+	nodeA := NewEngine("pcA", vtime.NewScheduler())
+	temps := nodeA.MustRegister("Temps", tempSchema())
+	link, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	hot := NewFilter(NewShip(tempSchema(), "TempsFiltered", link),
+		expr.MustBind(expr.Bin{Op: expr.OpGt, L: expr.C("temp"), R: expr.L(30.0)}, tempSchema()))
+	temps.Subscribe(hot)
+
+	seats.Push(data.NewTuple(1, data.Str("L1")))
+	temps.Push(temp(1, "L1", 50)) // passes filter, joins
+	temps.Push(temp(2, "L1", 10)) // filtered on node A
+
+	waitFor(t, func() bool { return mat.Len() == 1 })
+	snap := mat.MustSnapshot(nil, -1)
+	if snap[0].Vals[1].AsFloat() != 50 {
+		t.Fatalf("distributed result = %v", snap)
+	}
+}

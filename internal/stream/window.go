@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"container/list"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/vtime"
+)
+
+// Window converts a raw stream into a windowed delta stream: arriving
+// tuples flow downstream as insertions, and tuples leaving the window flow
+// as deletions. Downstream joins and aggregates therefore maintain exactly
+// the window contents.
+//
+// Three forms mirror the StreamSQL window clauses:
+//
+//	[RANGE r]          time window, per-tuple slide
+//	[RANGE r SLIDE s]  time window advancing at s boundaries
+//	[ROWS n]           last-n window
+//	[NOW]              each tuple inserted then immediately retracted
+type Window struct {
+	next Operator
+
+	kind    windowKind
+	rng     time.Duration
+	slide   time.Duration
+	rows    int
+	buf     *list.List // of data.Tuple in arrival order
+	lastAdv vtime.Time
+}
+
+type windowKind uint8
+
+const (
+	windowTime windowKind = iota
+	windowRows
+	windowNow
+)
+
+// NewTimeWindow builds a [RANGE rng] / [RANGE rng SLIDE slide] window.
+func NewTimeWindow(next Operator, rng, slide time.Duration) *Window {
+	return &Window{next: next, kind: windowTime, rng: rng, slide: slide, buf: list.New()}
+}
+
+// NewRowsWindow builds a [ROWS n] window.
+func NewRowsWindow(next Operator, n int) *Window {
+	return &Window{next: next, kind: windowRows, rows: n, buf: list.New()}
+}
+
+// NewNowWindow builds a [NOW] window.
+func NewNowWindow(next Operator) *Window {
+	return &Window{next: next, kind: windowNow, buf: list.New()}
+}
+
+// Schema implements Operator.
+func (w *Window) Schema() *data.Schema { return w.next.Schema() }
+
+// Push implements Operator. Deletions pass through (an upstream retraction
+// removes the tuple from the window if present).
+func (w *Window) Push(t data.Tuple) {
+	if t.Op == data.Delete {
+		w.removeOne(t)
+		return
+	}
+	switch w.kind {
+	case windowNow:
+		w.next.Push(t)
+		w.next.Push(t.Negate())
+
+	case windowRows:
+		w.buf.PushBack(t)
+		w.next.Push(t)
+		for w.buf.Len() > w.rows {
+			old := w.buf.Remove(w.buf.Front()).(data.Tuple)
+			out := old.Negate()
+			out.TS = t.TS
+			w.next.Push(out)
+		}
+
+	case windowTime:
+		// Event time drives expiry: everything older than t.TS - rng leaves.
+		w.advanceTo(t.TS)
+		w.buf.PushBack(t)
+		w.next.Push(t)
+	}
+}
+
+// Advance expires by (virtual) wall-clock time; the engine calls this on
+// ticks so windows drain during stream silence.
+func (w *Window) Advance(now vtime.Time) {
+	if w.kind == windowTime {
+		w.advanceTo(now)
+	}
+}
+
+func (w *Window) advanceTo(now vtime.Time) {
+	if w.slide > 0 {
+		// snap expiry to slide boundaries
+		boundary := (int64(now) / int64(w.slide)) * int64(w.slide)
+		now = vtime.Time(boundary)
+		if now <= w.lastAdv {
+			return
+		}
+		w.lastAdv = now
+	}
+	cutoff := now.Add(-w.rng)
+	for w.buf.Len() > 0 {
+		front := w.buf.Front().Value.(data.Tuple)
+		if front.TS > cutoff {
+			break
+		}
+		w.buf.Remove(w.buf.Front())
+		out := front.Negate()
+		out.TS = now
+		w.next.Push(out)
+	}
+}
+
+// removeOne deletes the first buffered tuple equal to t and forwards the
+// retraction if found.
+func (w *Window) removeOne(t data.Tuple) {
+	for e := w.buf.Front(); e != nil; e = e.Next() {
+		if e.Value.(data.Tuple).EqualVals(t) {
+			w.buf.Remove(e)
+			w.next.Push(t)
+			return
+		}
+	}
+}
+
+// Len reports the current window population (for tests and plan displays).
+func (w *Window) Len() int { return w.buf.Len() }

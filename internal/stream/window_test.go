@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/vtime"
+)
+
+func at(sec int64, room string, v float64) data.Tuple {
+	return data.NewTuple(vtime.Time(sec)*vtime.Second, data.Str(room), data.Float(v))
+}
+
+func TestTimeWindowExpiry(t *testing.T) {
+	col := NewCollector(tempSchema())
+	w := NewTimeWindow(col, 10*time.Second, 0)
+	w.Push(at(0, "a", 1))
+	w.Push(at(5, "b", 2))
+	w.Push(at(11, "c", 3)) // expires "a" (ts 0 <= 11-10)
+	got := col.Snapshot()
+	// +a +b -a +c  (expiry fires before insert)
+	if len(got) != 4 {
+		t.Fatalf("events = %v", got)
+	}
+	if got[2].Op != data.Delete || got[2].Vals[0].AsString() != "a" {
+		t.Fatalf("expected -a third: %v", got)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("window len = %d", w.Len())
+	}
+	// expiry tuple carries the expiry time
+	if got[2].TS != 11*vtime.Second {
+		t.Fatalf("expiry ts = %v", got[2].TS)
+	}
+}
+
+func TestTimeWindowAdvanceOnSilence(t *testing.T) {
+	col := NewCollector(tempSchema())
+	w := NewTimeWindow(col, 10*time.Second, 0)
+	w.Push(at(0, "a", 1))
+	w.Advance(30 * vtime.Second)
+	got := col.Snapshot()
+	if len(got) != 2 || got[1].Op != data.Delete {
+		t.Fatalf("advance did not expire: %v", got)
+	}
+	if w.Len() != 0 {
+		t.Fatal("window should be empty")
+	}
+}
+
+func TestTimeWindowSlide(t *testing.T) {
+	col := NewCollector(tempSchema())
+	w := NewTimeWindow(col, 10*time.Second, 5*time.Second)
+	w.Push(at(0, "a", 1))
+	w.Push(at(12, "b", 2))
+	// slide snaps expiry to 10s boundary: cutoff = 10-10 = 0 → "a" (ts 0) expires
+	del := 0
+	for _, tu := range col.Snapshot() {
+		if tu.Op == data.Delete {
+			del++
+		}
+	}
+	if del != 1 {
+		t.Fatalf("deletes = %d; events %v", del, col.Snapshot())
+	}
+	// within the same slide period no further expiry happens
+	w.Push(at(13, "c", 3))
+	del = 0
+	for _, tu := range col.Snapshot() {
+		if tu.Op == data.Delete {
+			del++
+		}
+	}
+	if del != 1 {
+		t.Fatalf("slide re-expired: %v", col.Snapshot())
+	}
+}
+
+func TestRowsWindow(t *testing.T) {
+	col := NewCollector(tempSchema())
+	w := NewRowsWindow(col, 2)
+	w.Push(at(1, "a", 1))
+	w.Push(at(2, "b", 2))
+	w.Push(at(3, "c", 3)) // evicts a
+	got := col.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("events = %v", got)
+	}
+	last := got[3]
+	if last.Op != data.Delete || last.Vals[0].AsString() != "a" {
+		t.Fatalf("eviction = %v", last)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("len = %d", w.Len())
+	}
+}
+
+func TestNowWindow(t *testing.T) {
+	col := NewCollector(tempSchema())
+	w := NewNowWindow(col)
+	w.Push(at(1, "a", 1))
+	got := col.Snapshot()
+	if len(got) != 2 || got[0].Op != data.Insert || got[1].Op != data.Delete {
+		t.Fatalf("now window = %v", got)
+	}
+	if w.Len() != 0 {
+		t.Fatal("now window retains state")
+	}
+}
+
+func TestWindowUpstreamDelete(t *testing.T) {
+	col := NewCollector(tempSchema())
+	w := NewTimeWindow(col, time.Minute, 0)
+	a := at(1, "a", 1)
+	w.Push(a)
+	w.Push(a.Negate())
+	got := col.Snapshot()
+	if len(got) != 2 || got[1].Op != data.Delete {
+		t.Fatalf("events = %v", got)
+	}
+	if w.Len() != 0 {
+		t.Fatal("window should be empty after retraction")
+	}
+	// deleting a tuple not in the window is silent
+	w.Push(at(2, "zz", 9).Negate())
+	if col.Len() != 2 {
+		t.Fatal("phantom retraction forwarded")
+	}
+}
+
+func TestWindowContentsMatchBruteForce(t *testing.T) {
+	// Property: after any prefix of pushes, window population equals the
+	// brute-force count of tuples within the range.
+	col := NewCollector(tempSchema())
+	w := NewTimeWindow(col, 7*time.Second, 0)
+	var all []int64
+	for sec := int64(0); sec < 50; sec += 3 {
+		w.Push(at(sec, "x", float64(sec)))
+		all = append(all, sec)
+		want := 0
+		for _, s := range all {
+			if s > sec-7 {
+				want++
+			}
+		}
+		if w.Len() != want {
+			t.Fatalf("at %ds: len=%d want %d", sec, w.Len(), want)
+		}
+	}
+}

@@ -1,0 +1,531 @@
+// Package views implements maintenance of recursive stream views with
+// provenance, the stream-engine capability the paper highlights for
+// transitive-closure queries ("computation of neighborhoods and paths", §3;
+// ref [11], Liu et al., ICDE'09).
+//
+// A View is a linear recursive query
+//
+//	V = lfp( Base ∪ π(V ⋈ Edge) )
+//
+// maintained incrementally under insertions and deletions on both inputs.
+// Every derivation discovered is recorded as provenance: tuple t carries
+// the set of (view-parent, edge-parent) pairs that produce it. Insertions
+// run semi-naive evaluation. Deletions run provenance-guided DRed: the
+// affected downward closure is found by walking provenance (no joins), and
+// re-derivation consults the recorded alternative derivations rather than
+// re-running the query — including correctly retracting cyclically
+// self-supporting tuples, where simple derivation counting is wrong.
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+	"aspen/internal/stream"
+	"aspen/internal/vtime"
+)
+
+// Config defines one linear recursive view.
+type Config struct {
+	// Schema is the view's (and the base input's) schema.
+	Schema *data.Schema
+	// EdgeSchema is the schema of the relation joined in the recursive rule.
+	EdgeSchema *data.Schema
+	// ViewKey and EdgeKey are the equi-join columns of the recursive rule
+	// (V.ViewKey = E.EdgeKey), equal length.
+	ViewKey, EdgeKey []string
+	// Residual is an optional extra predicate over Concat(Schema, EdgeSchema).
+	Residual expr.Expr
+	// Project maps Concat(Schema, EdgeSchema) back to Schema (same arity).
+	Project []stream.ProjectItem
+	// MaxDepth bounds recursion depth (number of recursive steps from a
+	// base fact); 0 means unbounded. Required when the projection
+	// manufactures unboundedly many values on cyclic data (e.g. summed
+	// distances or concatenated paths).
+	MaxDepth int
+}
+
+// Derivation is one recorded way a view tuple was produced, exposed by
+// Explain.
+type Derivation struct {
+	// Base marks a tuple inserted directly through the base input.
+	Base bool
+	// ViewParent and EdgeParent render the antecedent tuples.
+	ViewParent, EdgeParent string
+}
+
+type deriv struct {
+	vParent, eParent string
+}
+
+type fact struct {
+	t        data.Tuple
+	baseMult int
+	derivs   map[deriv]struct{}
+	depth    int
+}
+
+type edge struct {
+	t    data.Tuple
+	mult int
+}
+
+// View is a maintained recursive view.
+type View struct {
+	cfg      Config
+	joined   *data.Schema
+	vKeyIdx  []int
+	eKeyIdx  []int
+	residual *expr.Compiled
+	project  []*expr.Compiled
+	out      stream.Operator
+	facts    map[string]*fact
+	vIdx     map[string]map[string]struct{} // view join key -> fact keys
+	edges    map[string]*edge
+	eIdx     map[string]map[string]struct{} // edge join key -> edge keys
+	childOfV map[string]map[string]struct{} // fact key -> child fact keys
+	childOfE map[string]map[string]struct{} // edge key -> child fact keys
+	stats    Stats
+	baseIn   baseInput
+	edgeIn   edgeInput
+}
+
+// Stats counts maintenance work, the E6 efficiency metric.
+type Stats struct {
+	// DerivationsTried counts rule firings attempted.
+	DerivationsTried int64
+	// TuplesTouched counts fact insert/delete/resurrect operations.
+	TuplesTouched int64
+	// Emitted counts deltas pushed downstream.
+	Emitted int64
+}
+
+// New builds a view delivering its output deltas to out.
+func New(cfg Config, out stream.Operator) (*View, error) {
+	if len(cfg.ViewKey) != len(cfg.EdgeKey) {
+		return nil, fmt.Errorf("views: join key arity mismatch")
+	}
+	if len(cfg.Project) != cfg.Schema.Arity() {
+		return nil, fmt.Errorf("views: projection arity %d != view arity %d",
+			len(cfg.Project), cfg.Schema.Arity())
+	}
+	v := &View{
+		cfg:      cfg,
+		joined:   cfg.Schema.Concat(cfg.EdgeSchema),
+		out:      out,
+		facts:    map[string]*fact{},
+		vIdx:     map[string]map[string]struct{}{},
+		edges:    map[string]*edge{},
+		eIdx:     map[string]map[string]struct{}{},
+		childOfV: map[string]map[string]struct{}{},
+		childOfE: map[string]map[string]struct{}{},
+	}
+	for _, c := range cfg.ViewKey {
+		i, err := cfg.Schema.ColIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		v.vKeyIdx = append(v.vKeyIdx, i)
+	}
+	for _, c := range cfg.EdgeKey {
+		i, err := cfg.EdgeSchema.ColIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		v.eKeyIdx = append(v.eKeyIdx, i)
+	}
+	if cfg.Residual != nil {
+		c, err := expr.Bind(cfg.Residual, v.joined)
+		if err != nil {
+			return nil, err
+		}
+		v.residual = c
+	}
+	for _, it := range cfg.Project {
+		c, err := expr.Bind(it.Expr, v.joined)
+		if err != nil {
+			return nil, err
+		}
+		v.project = append(v.project, c)
+	}
+	v.baseIn = baseInput{v}
+	v.edgeIn = edgeInput{v}
+	return v, nil
+}
+
+// BaseInput accepts deltas of base facts (view schema).
+func (v *View) BaseInput() stream.Operator { return &v.baseIn }
+
+// EdgeInput accepts deltas of the joined relation (edge schema).
+func (v *View) EdgeInput() stream.Operator { return &v.edgeIn }
+
+// Schema returns the view schema.
+func (v *View) Schema() *data.Schema { return v.cfg.Schema }
+
+// Stats returns the maintenance work counters.
+func (v *View) Stats() Stats { return v.stats }
+
+// Len returns the current number of view tuples.
+func (v *View) Len() int { return len(v.facts) }
+
+// Snapshot returns the current view contents sorted by canonical key.
+func (v *View) Snapshot() []data.Tuple {
+	out := make([]data.Tuple, 0, len(v.facts))
+	for _, f := range v.facts {
+		out = append(out, f.t.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Explain returns the recorded derivations of a tuple currently in the
+// view (nil when absent).
+func (v *View) Explain(t data.Tuple) []Derivation {
+	f, ok := v.facts[t.Key()]
+	if !ok {
+		return nil
+	}
+	var out []Derivation
+	if f.baseMult > 0 {
+		out = append(out, Derivation{Base: true})
+	}
+	for d := range f.derivs {
+		vp, ep := "", ""
+		if pf, ok := v.facts[d.vParent]; ok {
+			vp = pf.t.String()
+		}
+		if pe, ok := v.edges[d.eParent]; ok {
+			ep = pe.t.String()
+		}
+		out = append(out, Derivation{ViewParent: vp, EdgeParent: ep})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Base != out[j].Base {
+			return out[i].Base
+		}
+		if out[i].ViewParent != out[j].ViewParent {
+			return out[i].ViewParent < out[j].ViewParent
+		}
+		return out[i].EdgeParent < out[j].EdgeParent
+	})
+	return out
+}
+
+type baseInput struct{ v *View }
+
+func (b *baseInput) Schema() *data.Schema { return b.v.cfg.Schema }
+func (b *baseInput) Push(t data.Tuple) {
+	if t.Op == data.Delete {
+		b.v.deleteBase(t)
+	} else {
+		b.v.insertBase(t)
+	}
+}
+
+type edgeInput struct{ v *View }
+
+func (e *edgeInput) Schema() *data.Schema { return e.v.cfg.EdgeSchema }
+func (e *edgeInput) Push(t data.Tuple) {
+	if t.Op == data.Delete {
+		e.v.deleteEdge(t)
+	} else {
+		e.v.insertEdge(t)
+	}
+}
+
+// --- insertion ---------------------------------------------------------
+
+func (v *View) insertBase(t data.Tuple) {
+	key := t.Key()
+	f := v.facts[key]
+	fresh := f == nil
+	if fresh {
+		f = &fact{t: t.Clone(), derivs: map[deriv]struct{}{}, depth: 0}
+		f.t.Op = data.Insert
+		v.facts[key] = f
+		v.addVIdx(key, f)
+	}
+	f.baseMult++
+	v.stats.TuplesTouched++
+	if fresh {
+		v.emit(f.t, data.Insert, t.TS)
+		v.expand([]string{key}, t.TS)
+	} else if f.depth > 0 {
+		// Base support shortens the depth to zero; re-expand under MaxDepth.
+		f.depth = 0
+		v.expand([]string{key}, t.TS)
+	}
+}
+
+func (v *View) insertEdge(t data.Tuple) {
+	key := t.Key()
+	e := v.edges[key]
+	if e == nil {
+		e = &edge{t: t.Clone()}
+		e.t.Op = data.Insert
+		v.edges[key] = e
+		jk := t.KeyOn(v.eKeyIdx)
+		if v.eIdx[jk] == nil {
+			v.eIdx[jk] = map[string]struct{}{}
+		}
+		v.eIdx[jk][key] = struct{}{}
+	}
+	e.mult++
+	if e.mult > 1 {
+		return
+	}
+	// Probe existing view facts joining with the new edge.
+	jk := t.KeyOn(v.eKeyIdx)
+	var work []string
+	for fk := range v.vIdx[jk] {
+		if nk, ok := v.deriveOne(fk, key, t.TS); ok {
+			work = append(work, nk)
+		}
+	}
+	v.expand(work, t.TS)
+}
+
+// expand runs semi-naive derivation from the given newly (re)inserted fact
+// keys.
+func (v *View) expand(work []string, ts vtime.Time) {
+	for len(work) > 0 {
+		fk := work[0]
+		work = work[1:]
+		f := v.facts[fk]
+		if f == nil {
+			continue
+		}
+		jk := f.t.KeyOn(v.vKeyIdx)
+		for ek := range v.eIdx[jk] {
+			if nk, ok := v.deriveOne(fk, ek, ts); ok {
+				work = append(work, nk)
+			}
+		}
+	}
+}
+
+// deriveOne fires the recursive rule for one (view fact, edge) pair.
+// It returns the child key and whether the child is new or had its depth
+// improved (requiring further expansion).
+func (v *View) deriveOne(fk, ek string, ts vtime.Time) (string, bool) {
+	f := v.facts[fk]
+	e := v.edges[ek]
+	if f == nil || e == nil {
+		return "", false
+	}
+	if v.cfg.MaxDepth > 0 && f.depth+1 > v.cfg.MaxDepth {
+		return "", false
+	}
+	v.stats.DerivationsTried++
+	joined := f.t.Concat(e.t)
+	joined.Op = data.Insert
+	if v.residual != nil && !v.residual.EvalBool(joined) {
+		return "", false
+	}
+	vals := make([]data.Value, len(v.project))
+	for i, p := range v.project {
+		vals[i] = p.Eval(joined)
+	}
+	child := data.Tuple{Vals: vals, TS: ts, Op: data.Insert}
+	ck := child.Key()
+	if ck == fk {
+		return "", false // self-derivation carries no information
+	}
+	d := deriv{vParent: fk, eParent: ek}
+	cf := v.facts[ck]
+	if cf != nil {
+		if _, dup := cf.derivs[d]; dup {
+			return "", false
+		}
+		cf.derivs[d] = struct{}{}
+		v.link(fk, ek, ck)
+		if f.depth+1 < cf.depth {
+			cf.depth = f.depth + 1
+			return ck, true // depth improved: may enable deeper derivations
+		}
+		return "", false
+	}
+	cf = &fact{t: child.Clone(), derivs: map[deriv]struct{}{d: {}}, depth: f.depth + 1}
+	v.facts[ck] = cf
+	v.addVIdx(ck, cf)
+	v.link(fk, ek, ck)
+	v.stats.TuplesTouched++
+	v.emit(cf.t, data.Insert, ts)
+	return ck, true
+}
+
+func (v *View) addVIdx(key string, f *fact) {
+	jk := f.t.KeyOn(v.vKeyIdx)
+	if v.vIdx[jk] == nil {
+		v.vIdx[jk] = map[string]struct{}{}
+	}
+	v.vIdx[jk][key] = struct{}{}
+}
+
+func (v *View) link(fk, ek, child string) {
+	if v.childOfV[fk] == nil {
+		v.childOfV[fk] = map[string]struct{}{}
+	}
+	v.childOfV[fk][child] = struct{}{}
+	if v.childOfE[ek] == nil {
+		v.childOfE[ek] = map[string]struct{}{}
+	}
+	v.childOfE[ek][child] = struct{}{}
+}
+
+// --- deletion (provenance-guided DRed) ---------------------------------
+
+func (v *View) deleteBase(t data.Tuple) {
+	key := t.Key()
+	f := v.facts[key]
+	if f == nil || f.baseMult == 0 {
+		return
+	}
+	f.baseMult--
+	v.stats.TuplesTouched++
+	if f.baseMult > 0 {
+		return
+	}
+	v.dred(map[string]struct{}{key: {}}, t.TS)
+}
+
+func (v *View) deleteEdge(t data.Tuple) {
+	key := t.Key()
+	e := v.edges[key]
+	if e == nil {
+		return
+	}
+	e.mult--
+	if e.mult > 0 {
+		return
+	}
+	// Remove the edge and every derivation that used it.
+	jk := e.t.KeyOn(v.eKeyIdx)
+	delete(v.eIdx[jk], key)
+	if len(v.eIdx[jk]) == 0 {
+		delete(v.eIdx, jk)
+	}
+	delete(v.edges, key)
+	suspects := map[string]struct{}{}
+	for ck := range v.childOfE[key] {
+		if cf := v.facts[ck]; cf != nil {
+			for d := range cf.derivs {
+				if d.eParent == key {
+					delete(cf.derivs, d)
+				}
+			}
+			suspects[ck] = struct{}{}
+		}
+	}
+	delete(v.childOfE, key)
+	v.dred(suspects, t.TS)
+}
+
+// dred deletes the downward provenance closure of the seed facts, then
+// resurrects every suspect that retains a valid derivation (or base
+// support), emitting retractions only for tuples that are truly gone.
+func (v *View) dred(seeds map[string]struct{}, ts vtime.Time) {
+	// Phase 1: overestimate — everything reachable from the seeds through
+	// provenance edges. Required for cyclic support: two tuples deriving
+	// each other must both fall, even though their derivation sets are
+	// non-empty.
+	suspect := map[string]struct{}{}
+	stack := make([]string, 0, len(seeds))
+	for k := range seeds {
+		if f := v.facts[k]; f != nil && f.baseMult == 0 {
+			// Facts that still have base support stand on their own and do
+			// not fall; their subtree is safe too.
+			suspect[k] = struct{}{}
+			stack = append(stack, k)
+		}
+	}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for ck := range v.childOfV[k] {
+			if _, seen := suspect[ck]; seen {
+				continue
+			}
+			if cf := v.facts[ck]; cf != nil && cf.baseMult == 0 {
+				suspect[ck] = struct{}{}
+				stack = append(stack, ck)
+			}
+		}
+	}
+
+	// Phase 2: resurrect suspects with a surviving derivation, in rounds,
+	// since resurrecting one fact can re-validate derivations of another.
+	alive := func(k string) bool {
+		if _, isSuspect := suspect[k]; isSuspect {
+			return false
+		}
+		_, ok := v.facts[k]
+		return ok
+	}
+	changed := true
+	for changed {
+		changed = false
+		for k := range suspect {
+			f := v.facts[k]
+			best := -1
+			for d := range f.derivs {
+				pf := v.facts[d.vParent]
+				if pf == nil || !alive(d.vParent) {
+					continue
+				}
+				if _, eAlive := v.edges[d.eParent]; !eAlive {
+					continue
+				}
+				nd := pf.depth + 1
+				if v.cfg.MaxDepth > 0 && nd > v.cfg.MaxDepth {
+					continue
+				}
+				if best < 0 || nd < best {
+					best = nd
+				}
+			}
+			if best >= 0 {
+				f.depth = best
+				delete(suspect, k)
+				v.stats.TuplesTouched++
+				changed = true
+			}
+		}
+	}
+
+	// Phase 3: truly delete the rest.
+	for k := range suspect {
+		f := v.facts[k]
+		jk := f.t.KeyOn(v.vKeyIdx)
+		delete(v.vIdx[jk], k)
+		if len(v.vIdx[jk]) == 0 {
+			delete(v.vIdx, jk)
+		}
+		delete(v.facts, k)
+		v.stats.TuplesTouched++
+		v.emit(f.t, data.Delete, ts)
+	}
+	// Purge dangling provenance references to the deleted facts.
+	for k := range suspect {
+		for ck := range v.childOfV[k] {
+			if cf := v.facts[ck]; cf != nil {
+				for d := range cf.derivs {
+					if d.vParent == k {
+						delete(cf.derivs, d)
+					}
+				}
+			}
+		}
+		delete(v.childOfV, k)
+	}
+}
+
+func (v *View) emit(t data.Tuple, op data.Op, ts vtime.Time) {
+	out := t.Clone()
+	out.Op = op
+	out.TS = ts
+	v.stats.Emitted++
+	v.out.Push(out)
+}

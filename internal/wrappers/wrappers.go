@@ -1,0 +1,215 @@
+// Package wrappers implements the bottom tier of Figure 1: "Wrappers:
+// Machine state & data streams and tables". Wrappers bridge non-ASPEN data
+// producers into stream-engine inputs:
+//
+//   - Web sources scraped over real HTTP on a polling period (the paper's
+//     PDUs export power readings through a web interface polled every 10 s),
+//   - machine soft sensors sampled from the fleet simulator,
+//   - database tables loaded into the engine as static relations.
+package wrappers
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/machines"
+	"aspen/internal/stream"
+	"aspen/internal/vtime"
+)
+
+// Runner is a handle to a started wrapper.
+type Runner interface{ Stop() }
+
+type runner struct{ stop func() }
+
+func (r *runner) Stop() { r.stop() }
+
+// Decoder converts one fetched payload into tuples at the given timestamp.
+type Decoder func(body []byte, now vtime.Time) ([]data.Tuple, error)
+
+// WebWrapper polls an HTTP endpoint and pushes the decoded tuples into a
+// stream input. Fetch failures are counted and skipped (web sources are
+// unreliable; the paper's architecture expects that).
+type WebWrapper struct {
+	URL    string
+	Input  *stream.Input
+	Decode Decoder
+	// Period defaults to 10 seconds, the paper's PDU polling rate.
+	Period time.Duration
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+
+	// Errors counts failed polls.
+	Errors int
+	// Polls counts attempts.
+	Polls int
+}
+
+// PollOnce fetches and pushes a single round; exposed for tests and for
+// simulation drivers that want deterministic polling.
+func (w *WebWrapper) PollOnce(now vtime.Time) error {
+	w.Polls++
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(w.URL)
+	if err != nil {
+		w.Errors++
+		return fmt.Errorf("wrappers: fetch %s: %w", w.URL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.Errors++
+		return fmt.Errorf("wrappers: fetch %s: status %s", w.URL, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		w.Errors++
+		return fmt.Errorf("wrappers: read %s: %w", w.URL, err)
+	}
+	tuples, err := w.Decode(body, now)
+	if err != nil {
+		w.Errors++
+		return fmt.Errorf("wrappers: decode %s: %w", w.URL, err)
+	}
+	for _, t := range tuples {
+		w.Input.Push(t)
+	}
+	return nil
+}
+
+// Start schedules periodic polling on the scheduler.
+func (w *WebWrapper) Start(sched *vtime.Scheduler) Runner {
+	period := w.Period
+	if period <= 0 {
+		period = 10 * time.Second
+	}
+	stop := sched.Every(period, func() {
+		_ = w.PollOnce(sched.Now()) // errors are counted; polling continues
+	})
+	return &runner{stop: stop}
+}
+
+// PowerSchema is the PDU power stream: every 10 s, one reading per outlet.
+func PowerSchema(rel string) *data.Schema {
+	s := data.NewSchema(rel,
+		data.Col("pdu", data.TString),
+		data.Col("outlet", data.TInt),
+		data.Col("machine", data.TString),
+		data.Col("watts", data.TFloat),
+	)
+	s.IsStream = true
+	return s
+}
+
+// NewPDUWrapper builds a WebWrapper for a PDU's JSON readings endpoint
+// ("a 'wrapper' periodically (every 10s) extracts this value and sends it
+// along a data stream", §2).
+func NewPDUWrapper(pduName, baseURL string, input *stream.Input) *WebWrapper {
+	return &WebWrapper{
+		URL:    baseURL + "/readings",
+		Input:  input,
+		Period: 10 * time.Second,
+		Decode: func(body []byte, now vtime.Time) ([]data.Tuple, error) {
+			var rs []machines.OutletReading
+			if err := json.Unmarshal(body, &rs); err != nil {
+				return nil, err
+			}
+			out := make([]data.Tuple, 0, len(rs))
+			for _, r := range rs {
+				out = append(out, data.NewTuple(now,
+					data.Str(pduName),
+					data.Int(int64(r.Outlet)),
+					data.Str(r.Machine),
+					data.Float(r.Watts),
+				))
+			}
+			return out, nil
+		},
+	}
+}
+
+// MachineStateSchema is the soft-sensor stream: "jobs executing, users
+// logged in, CPU utilization, memory, number of requests being handled in a
+// Web server application" (§2).
+func MachineStateSchema(rel string) *data.Schema {
+	s := data.NewSchema(rel,
+		data.Col("machine", data.TString),
+		data.Col("room", data.TString),
+		data.Col("desk", data.TInt),
+		data.Col("kind", data.TString),
+		data.Col("cpu", data.TFloat),
+		data.Col("mem", data.TFloat),
+		data.Col("jobs", data.TInt),
+		data.Col("users", data.TInt),
+		data.Col("requests", data.TFloat),
+	)
+	s.IsStream = true
+	return s
+}
+
+// MachineWrapper samples the fleet's soft sensors into a stream.
+type MachineWrapper struct {
+	Fleet *machines.Fleet
+	Input *stream.Input
+	// Period defaults to 1 second.
+	Period time.Duration
+	// StepWorkload also advances the synthetic workload each sample.
+	StepWorkload bool
+}
+
+// SampleOnce pushes one reading per powered-on machine.
+func (w *MachineWrapper) SampleOnce(now vtime.Time) int {
+	if w.StepWorkload {
+		w.Fleet.Step(now)
+	}
+	n := 0
+	for _, m := range w.Fleet.Machines() {
+		if m.Off {
+			continue
+		}
+		w.Input.Push(data.NewTuple(now,
+			data.Str(m.Name),
+			data.Str(m.Room),
+			data.Int(int64(m.Desk)),
+			data.Str(m.Kind.String()),
+			data.Float(m.CPU),
+			data.Float(m.MemMB),
+			data.Int(int64(len(m.Jobs))),
+			data.Int(int64(len(m.Users()))),
+			data.Float(m.Requests),
+		))
+		n++
+	}
+	return n
+}
+
+// Start schedules periodic sampling.
+func (w *MachineWrapper) Start(sched *vtime.Scheduler) Runner {
+	period := w.Period
+	if period <= 0 {
+		period = time.Second
+	}
+	stop := sched.Every(period, func() { w.SampleOnce(sched.Now()) })
+	return &runner{stop: stop}
+}
+
+// LoadTable pushes every row of a stored relation into a stream input as
+// insertions at the given timestamp; how database tables enter a continuous
+// query's join state. Returns the number of rows loaded.
+func LoadTable(rel *data.Relation, input *stream.Input, now vtime.Time) int {
+	n := 0
+	rel.Scan(func(t data.Tuple) bool {
+		t.TS = now
+		t.Op = data.Insert
+		input.Push(t)
+		n++
+		return true
+	})
+	return n
+}
