@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet fmt check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+check: build vet fmt test
+
+# bench runs the E1-E10 microbenchmarks with allocation stats, then
+# regenerates the experiment tables and writes them (plus the recorded seed
+# baselines) to BENCH_PR1.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+	$(GO) run ./cmd/benchharness -json BENCH_PR1.json

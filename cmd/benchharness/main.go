@@ -1,11 +1,19 @@
 // Benchharness regenerates every experiment table (E1–E10) defined in
 // DESIGN.md and recorded in EXPERIMENTS.md.
 //
-//	go run ./cmd/benchharness            # all experiments
-//	go run ./cmd/benchharness E2 E4      # a subset
+//	go run ./cmd/benchharness                       # all experiments
+//	go run ./cmd/benchharness E2 E4                 # a subset
+//	go run ./cmd/benchharness -json BENCH_PR1.json  # machine-readable dump
+//
+// With -json, the selected experiment tables are also written to the given
+// file together with the recorded seed baselines of the hot-path
+// microbenchmarks (see PERF.md), so before/after comparisons ride along
+// with the data.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -13,7 +21,27 @@ import (
 	"aspen/internal/experiments"
 )
 
+// seedBaselines records the microbenchmark numbers of the seed tree
+// (before PR 1's allocation-free hot path), measured with
+// `go test -run '^$' -bench <id> -benchmem`. PERF.md documents the
+// workflow and the matching post-PR numbers.
+var seedBaselines = map[string]string{
+	"E7StreamThroughput":  "662 ns/op, 287 B/op, 8 allocs/op",
+	"E2InNetworkJoin/opt": "39287 ns/op, 42272 B/op, 216 allocs/op",
+	"E9EndToEnd":          "335236 ns/op, 162985 B/op, 1078 allocs/op",
+}
+
+type report struct {
+	// SeedBaseline holds the pre-optimization microbenchmark numbers for
+	// the benchmarks the PR-1 acceptance criteria track.
+	SeedBaseline map[string]string   `json:"seed_baseline"`
+	Experiments  []experiments.Table `json:"experiments"`
+}
+
 func main() {
+	jsonPath := flag.String("json", "", "also write the tables as JSON to this file")
+	flag.Parse()
+
 	all := map[string]func() experiments.Table{
 		"E1":  experiments.E1FederatedPartitioning,
 		"E2":  experiments.E2InNetworkJoin,
@@ -28,16 +56,32 @@ func main() {
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 
-	want := os.Args[1:]
+	want := flag.Args()
 	if len(want) == 0 {
 		want = order
 	}
+	rep := report{SeedBaseline: seedBaselines}
 	for _, id := range want {
 		fn, ok := all[strings.ToUpper(id)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s)\n", id, strings.Join(order, ", "))
 			os.Exit(2)
 		}
-		fmt.Println(fn().Format())
+		tbl := fn()
+		fmt.Println(tbl.Format())
+		rep.Experiments = append(rep.Experiments, tbl)
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }

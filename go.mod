@@ -1,0 +1,3 @@
+module aspen
+
+go 1.24

@@ -214,7 +214,7 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 }
 
 // loadTables pushes each scanned table's current rows into the
-// deployment's table heads.
+// deployment's table heads, one batch per table.
 func (rt *Runtime) loadTables(dep *plan.Deployment) {
 	now := rt.Sched.Now()
 	for _, th := range dep.TableHeads {
@@ -222,13 +222,14 @@ func (rt *Runtime) loadTables(dep *plan.Deployment) {
 		if !ok || src.Table == nil {
 			continue
 		}
-		head := th.Head
+		var rows []data.Tuple
 		src.Table.Scan(func(t data.Tuple) bool {
 			t.TS = now
 			t.Op = data.Insert
-			head.Push(t)
+			rows = append(rows, t)
 			return true
 		})
+		th.Load(rows)
 	}
 }
 

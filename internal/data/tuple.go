@@ -44,6 +44,13 @@ func (t Tuple) Clone() Tuple {
 	return Tuple{Vals: vals, TS: t.TS, Op: t.Op}
 }
 
+// CloneInto deep-copies the tuple into dst's backing array when its
+// capacity suffices, allocating only on growth; operators use it with
+// pooled buffers to keep steady-state cloning allocation-free.
+func (t Tuple) CloneInto(dst []Value) Tuple {
+	return Tuple{Vals: append(dst[:0], t.Vals...), TS: t.TS, Op: t.Op}
+}
+
 // Negate returns the tuple with flipped polarity.
 func (t Tuple) Negate() Tuple {
 	if t.Op == Insert {
@@ -57,8 +64,14 @@ func (t Tuple) Negate() Tuple {
 // Concat returns the concatenation of t and o's values, keeping t's
 // timestamp if later, else o's (join output carries the max event time).
 func (t Tuple) Concat(o Tuple) Tuple {
-	vals := make([]Value, 0, len(t.Vals)+len(o.Vals))
-	vals = append(vals, t.Vals...)
+	return t.ConcatInto(make([]Value, 0, len(t.Vals)+len(o.Vals)), o)
+}
+
+// ConcatInto is Concat writing the concatenated values into dst's backing
+// array when its capacity suffices. The result aliases dst; callers that
+// hand it to a retaining consumer must Clone first.
+func (t Tuple) ConcatInto(dst []Value, o Tuple) Tuple {
+	vals := append(dst[:0], t.Vals...)
 	vals = append(vals, o.Vals...)
 	ts := t.TS
 	if o.TS > ts {
@@ -102,6 +115,30 @@ func (t Tuple) EqualVals(o Tuple) bool {
 	}
 	return true
 }
+
+// EqualOn reports SQL equality between t's values at idx and o's values at
+// oIdx (same length), with NULLs comparing equal — exactly the equality the
+// canonical key encoding captures. Hash-table users call it to verify
+// candidates that share a 64-bit key hash.
+func (t Tuple) EqualOn(idx []int, o Tuple, oIdx []int) bool {
+	for i := range idx {
+		a, b := t.Vals[idx[i]], o.Vals[oIdx[i]]
+		if a.IsNull() || b.IsNull() {
+			if a.IsNull() != b.IsNull() {
+				return false
+			}
+			continue
+		}
+		if !a.Equal(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// HashOn returns the 64-bit hash of the canonical key of the values at idx
+// (all values when idx is nil), written through h's reusable buffer.
+func (t Tuple) HashOn(h *Hasher, idx []int) uint64 { return h.HashOn(t, idx) }
 
 // Key returns a canonical encoding of all values, usable as a map key for
 // set semantics and provenance identity. TS and Op are excluded.

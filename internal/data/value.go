@@ -223,10 +223,6 @@ func (v Value) AppendKey(buf []byte) []byte {
 		buf = append(buf, 'i')
 		return strconv.AppendInt(buf, v.I, 36)
 	case TFloat:
-		if i := int64(v.F); float64(i) == v.F {
-			buf = append(buf, 'f')
-			return strconv.AppendFloat(buf, v.F, 'b', -1, 64)
-		}
 		buf = append(buf, 'f')
 		return strconv.AppendFloat(buf, v.F, 'b', -1, 64)
 	case TString:

@@ -19,6 +19,13 @@ type TableHead struct {
 	Head  stream.Operator
 }
 
+// Load pushes rows into the table-scan head as one batch, amortizing
+// downstream dispatch (lock acquisitions, transport frames) over the whole
+// initial table load.
+func (th TableHead) Load(rows []data.Tuple) {
+	stream.PushBatch(th.Head, rows)
+}
+
 // Deployment is a compiled continuous query running on a stream engine.
 type Deployment struct {
 	// Result is the materialized continuous result; displays snapshot it

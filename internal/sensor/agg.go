@@ -166,6 +166,7 @@ func (e *Engine) runAggTAG(q *AggregateQuery, now vtime.Time, sink Sink) int {
 		return ""
 	}
 
+	scratch := make([]data.Value, 0, 4)
 	for _, n := range nodes {
 		if n.Dead || n.Hops < 0 {
 			continue
@@ -174,8 +175,9 @@ func (e *Engine) runAggTAG(q *AggregateQuery, now vtime.Time, sink Sink) int {
 		if groups == nil {
 			groups = map[string]psr{}
 		}
-		// own sample
-		if t, ok := e.sample(n, q.Sensor, now); ok {
+		// own sample (scratch-backed: consumed before the next node samples)
+		if t, ok := e.sampleInto(scratch, n, q.Sensor, now); ok {
+			scratch = t.Vals[:0]
 			if q.Pred == nil || q.Pred.EvalBool(t) {
 				g := groups[groupOf(n)]
 				g.add(t.Vals[3].AsFloat())
@@ -212,11 +214,13 @@ func (e *Engine) runAggTAG(q *AggregateQuery, now vtime.Time, sink Sink) int {
 func (e *Engine) runAggCentral(q *AggregateQuery, now vtime.Time, sink Sink) int {
 	base := e.net.Base()
 	groups := map[string]psr{}
+	scratch := make([]data.Value, 0, 4)
 	for _, n := range e.net.Nodes() {
-		t, ok := e.sample(n, q.Sensor, now)
+		t, ok := e.sampleInto(scratch, n, q.Sensor, now)
 		if !ok {
 			continue
 		}
+		scratch = t.Vals[:0]
 		if q.Pred != nil && !q.Pred.EvalBool(t) {
 			continue
 		}

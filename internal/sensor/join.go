@@ -119,6 +119,9 @@ type JoinState struct {
 	q     *JoinQuery
 	pairs []pair
 	stats map[[2]int]*pairStats
+	// Sampling and concat scratch buffers, reused across pairs and epochs
+	// under mu; delivered tuples are cloned out of them.
+	lBuf, rBuf, jBuf []data.Value
 	// Decisions counts placements chosen at the latest epoch, for
 	// observability (the demo GUI shows live plan partitioning).
 	Decisions map[Placement]int
@@ -140,7 +143,12 @@ func (e *Engine) PlanJoin(q *JoinQuery) (*JoinState, error) {
 			rights = append(rights, n)
 		}
 	}
-	st := &JoinState{q: q, stats: map[[2]int]*pairStats{}, Decisions: map[Placement]int{}}
+	st := &JoinState{
+		q: q, stats: map[[2]int]*pairStats{}, Decisions: map[Placement]int{},
+		lBuf: make([]data.Value, 0, 4),
+		rBuf: make([]data.Value, 0, 4),
+		jBuf: make([]data.Value, 0, 8),
+	}
 	for _, l := range lefts {
 		for _, r := range rights {
 			if l.ID == r.ID && q.Left.Sensor == q.Right.Sensor {
@@ -212,7 +220,9 @@ func (st *JoinState) choose(p pair) Placement {
 
 // RunJoinEpoch executes one epoch of the join, delivering joined tuples to
 // sink; it returns the number delivered. Radio loss can drop a pair's
-// contribution for the epoch, exactly as on real motes.
+// contribution for the epoch, exactly as on real motes. Per-pair sampling
+// and concatenation run through the state's scratch buffers; only
+// delivered tuples are cloned out.
 func (e *Engine) RunJoinEpoch(st *JoinState, now vtime.Time, sink Sink) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -220,6 +230,10 @@ func (e *Engine) RunJoinEpoch(st *JoinState, now vtime.Time, sink Sink) int {
 	base := e.net.Base()
 	delivered := 0
 	decisions := map[Placement]int{}
+	deliver := func(t data.Tuple) {
+		sink(t.Clone())
+		delivered++
+	}
 
 	for _, p := range st.pairs {
 		ln, lok := e.net.Node(p.l)
@@ -227,14 +241,21 @@ func (e *Engine) RunJoinEpoch(st *JoinState, now vtime.Time, sink Sink) int {
 		if !lok || !rok || ln.Dead || rn.Dead {
 			continue
 		}
-		lt, lsampled := e.sample(ln, q.Left.Sensor, now)
-		rt, rsampled := e.sample(rn, q.Right.Sensor, now)
+		lt, lsampled := e.sampleInto(st.lBuf, ln, q.Left.Sensor, now)
+		rt, rsampled := e.sampleInto(st.rBuf, rn, q.Right.Sensor, now)
+		if lsampled {
+			st.lBuf = lt.Vals[:0]
+		}
+		if rsampled {
+			st.rBuf = rt.Vals[:0]
+		}
 		if !lsampled || !rsampled {
 			continue
 		}
 		lPass := q.Left.Pred == nil || q.Left.Pred.EvalBool(lt)
 		rPass := q.Right.Pred == nil || q.Right.Pred.EvalBool(rt)
-		joined := lt.Concat(rt)
+		joined := lt.ConcatInto(st.jBuf, rt)
+		st.jBuf = joined.Vals[:0]
 		jPass := q.On == nil || q.On.EvalBool(joined)
 		stats := st.stats[[2]int{p.l, p.r}]
 		place := st.choose(p)
@@ -252,8 +273,7 @@ func (e *Engine) RunJoinEpoch(st *JoinState, now vtime.Time, sink Sink) int {
 			}
 			if lPass && jPass {
 				if p.lBase == 0 || e.net.Send(p.l, base, 1) {
-					sink(joined)
-					delivered++
+					deliver(joined)
 				}
 			}
 		case PlaceAtRight:
@@ -265,16 +285,14 @@ func (e *Engine) RunJoinEpoch(st *JoinState, now vtime.Time, sink Sink) int {
 			}
 			if rPass && jPass {
 				if p.rBase == 0 || e.net.Send(p.r, base, 1) {
-					sink(joined)
-					delivered++
+					deliver(joined)
 				}
 			}
 		default: // PlaceAtBase
 			lArrived := lPass && (p.lBase == 0 || e.net.Send(p.l, base, 1))
 			rArrived := rPass && (p.rBase == 0 || e.net.Send(p.r, base, 1))
 			if lArrived && rArrived && jPass {
-				sink(joined)
-				delivered++
+				deliver(joined)
 			}
 		}
 	}

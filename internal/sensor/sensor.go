@@ -52,7 +52,9 @@ func (f EnvFunc) Reading(n sensornet.Node, kind sensornet.SensorKind, now vtime.
 	return f(n, kind, now)
 }
 
-// Sink receives query results as they arrive at the base station.
+// Sink receives query results as they arrive at the base station. The
+// delivered tuple is owned by the receiver (engines may buffer it), so the
+// engine clones per delivery rather than sharing its sampling buffers.
 type Sink func(data.Tuple)
 
 // Engine evaluates sensor queries over one network.
@@ -70,8 +72,17 @@ func NewEngine(net *sensornet.Network, env Env) *Engine {
 // Network returns the underlying simulated network.
 func (e *Engine) Network() *sensornet.Network { return e.net }
 
-// sample reads one sensor at one node into a reading tuple.
+// sample reads one sensor at one node into a freshly allocated reading
+// tuple.
 func (e *Engine) sample(n sensornet.Node, kind sensornet.SensorKind, now vtime.Time) (data.Tuple, bool) {
+	return e.sampleInto(make([]data.Value, 0, 4), n, kind, now)
+}
+
+// sampleInto reads one sensor at one node into a reading tuple backed by
+// buf's array when its capacity suffices. Epoch loops pass a scratch
+// buffer reused across nodes — the returned tuple is only valid until the
+// next sampleInto with the same buffer, so deliveries clone.
+func (e *Engine) sampleInto(buf []data.Value, n sensornet.Node, kind sensornet.SensorKind, now vtime.Time) (data.Tuple, bool) {
 	if n.Dead || !n.HasSensor(kind) {
 		return data.Tuple{}, false
 	}
@@ -79,12 +90,13 @@ func (e *Engine) sample(n sensornet.Node, kind sensornet.SensorKind, now vtime.T
 	if !ok {
 		return data.Tuple{}, false
 	}
-	return data.NewTuple(now,
+	vals := append(buf[:0],
 		data.Int(int64(n.ID)),
 		data.Str(n.Room),
 		data.Int(int64(n.Desk)),
 		data.Float(v),
-	), true
+	)
+	return data.Tuple{Vals: vals, TS: now}, true
 }
 
 // SelectQuery is a filtered acquisition query: every node carrying Sensor
@@ -103,24 +115,28 @@ func (q *SelectQuery) Schema() *data.Schema { return ReadingSchema(q.Rel) }
 
 // RunSelectEpoch executes one epoch of a selection query, delivering
 // passing readings to sink. It returns the number of tuples delivered.
+// Sampling runs through one scratch buffer for the whole epoch; only
+// delivered readings are cloned out.
 func (e *Engine) RunSelectEpoch(q *SelectQuery, now vtime.Time, sink Sink) int {
 	base := e.net.Base()
 	delivered := 0
+	scratch := make([]data.Value, 0, 4)
 	for _, n := range e.net.Nodes() {
-		t, ok := e.sample(n, q.Sensor, now)
+		t, ok := e.sampleInto(scratch, n, q.Sensor, now)
 		if !ok {
 			continue
 		}
+		scratch = t.Vals[:0]
 		if q.Pred != nil && !q.Pred.EvalBool(t) {
 			continue // filtered in-network: no radio traffic at all
 		}
 		if n.ID == base {
-			sink(t)
+			sink(t.Clone())
 			delivered++
 			continue
 		}
 		if e.net.Send(n.ID, base, 1) {
-			sink(t)
+			sink(t.Clone())
 			delivered++
 		}
 	}

@@ -55,14 +55,21 @@ type AggSpec struct {
 // retraction of the group's previous output row followed by an insertion of
 // the new one, so downstream state (materialized displays, HAVING filters)
 // tracks the aggregate exactly.
+// Group state is keyed by 64-bit hashes of the canonical grouping-key
+// encoding; a bucket holds every group sharing the hash, and lookups verify
+// candidates against the stored key values, so no key string is
+// materialized per push.
 type Aggregate struct {
 	next   Operator
 	in     *data.Schema
 	out    *data.Schema
 	keyIdx []int
+	kvIdx  []int // identity indexes into groupState.keyVals
 	specs  []AggSpec
 	args   []*expr.Compiled // nil entry for COUNT(*)
-	groups map[string]*groupState
+	groups map[uint64][]*groupState
+	n      int // live group count
+	hasher data.Hasher
 	having *expr.Compiled
 }
 
@@ -124,13 +131,15 @@ func NewAggregate(next Operator, in *data.Schema, groupBy []string, specs []AggS
 	if err != nil {
 		return nil, err
 	}
-	a := &Aggregate{next: next, in: in, out: out, specs: specs, groups: map[string]*groupState{}}
-	// keyIdx must stay non-nil: Tuple.KeyOn(nil) means "all columns", but an
-	// empty GROUP BY means one global group (empty key).
+	a := &Aggregate{next: next, in: in, out: out, specs: specs, groups: map[uint64][]*groupState{}}
+	// keyIdx must stay non-nil: Tuple.HashOn(h, nil) means "all columns", but
+	// an empty GROUP BY means one global group (empty key).
 	a.keyIdx = make([]int, 0, len(groupBy))
+	a.kvIdx = make([]int, 0, len(groupBy))
 	for _, g := range groupBy {
 		i, _ := in.ColIndex(g) // validated by AggOutSchema
 		a.keyIdx = append(a.keyIdx, i)
+		a.kvIdx = append(a.kvIdx, len(a.kvIdx))
 	}
 	for _, s := range specs {
 		var c *expr.Compiled
@@ -164,8 +173,16 @@ func (a *Aggregate) OutSchema() *data.Schema { return a.out }
 
 // Push implements Operator.
 func (a *Aggregate) Push(t data.Tuple) {
-	key := t.KeyOn(a.keyIdx)
-	g := a.groups[key]
+	key := a.hasher.HashOn(t, a.keyIdx) & testHashMask
+	var g *groupState
+	for _, cand := range a.groups[key] {
+		// Verify the hash-bucket candidate's stored key values against the
+		// tuple's grouping columns under key-equality semantics.
+		if (data.Tuple{Vals: cand.keyVals}).EqualOn(a.kvIdx, t, a.keyIdx) {
+			g = cand
+			break
+		}
+	}
 	if g == nil {
 		if t.Op == data.Delete {
 			return // deletion for unknown group: ignore
@@ -178,7 +195,8 @@ func (a *Aggregate) Push(t data.Tuple) {
 		for i, idx := range a.keyIdx {
 			g.keyVals[i] = t.Vals[idx]
 		}
-		a.groups[key] = g
+		a.groups[key] = append(a.groups[key], g)
+		a.n++
 	}
 
 	delta := int64(1)
@@ -209,7 +227,7 @@ func (a *Aggregate) Push(t data.Tuple) {
 
 // emit retracts the group's previous row and emits the new one (subject to
 // HAVING). Groups that become empty only retract.
-func (a *Aggregate) emit(key string, g *groupState, cause data.Tuple) {
+func (a *Aggregate) emit(key uint64, g *groupState, cause data.Tuple) {
 	var newOut []data.Value
 	if g.count > 0 {
 		newOut = make([]data.Value, 0, len(g.keyVals)+len(a.specs))
@@ -243,7 +261,20 @@ func (a *Aggregate) emit(key string, g *groupState, cause data.Tuple) {
 		g.lastOut = newOut
 	}
 	if g.count <= 0 {
-		delete(a.groups, key)
+		bucket := a.groups[key]
+		for i, cand := range bucket {
+			if cand == g {
+				copy(bucket[i:], bucket[i+1:])
+				bucket[len(bucket)-1] = nil // drop the reference for GC
+				if len(bucket) == 1 {
+					delete(a.groups, key)
+				} else {
+					a.groups[key] = bucket[:len(bucket)-1]
+				}
+				break
+			}
+		}
+		a.n--
 	}
 }
 
@@ -291,4 +322,4 @@ func (st *aggState) result(k AggKind) data.Value {
 }
 
 // Groups reports the live group count (for plan displays).
-func (a *Aggregate) Groups() int { return len(a.groups) }
+func (a *Aggregate) Groups() int { return a.n }

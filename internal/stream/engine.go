@@ -124,6 +124,31 @@ func (in *Input) Push(t data.Tuple) {
 	}
 }
 
+// PushBatch injects a batch of tuples, driving all subscribed pipelines
+// once per subscriber instead of once per tuple. Zero timestamps are
+// stamped in place with the engine clock; each subscriber receives its own
+// cloned batch, like Push.
+func (in *Input) PushBatch(ts []data.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	for i := range ts {
+		if ts[i].TS == 0 {
+			ts[i].TS = in.engine.clock.Now()
+		}
+	}
+	in.engine.mu.Lock()
+	subs := in.subs
+	in.engine.mu.Unlock()
+	for _, op := range subs {
+		cl := make([]data.Tuple, len(ts))
+		for i, t := range ts {
+			cl[i] = t.Clone()
+		}
+		PushBatch(op, cl)
+	}
+}
+
 // Push routes a tuple to the named input.
 func (e *Engine) Push(input string, t data.Tuple) error {
 	in, ok := e.Input(input)
@@ -131,6 +156,16 @@ func (e *Engine) Push(input string, t data.Tuple) error {
 		return fmt.Errorf("stream: no input %q on node %s", input, e.name)
 	}
 	in.Push(t)
+	return nil
+}
+
+// PushBatch routes a batch of tuples to the named input in one dispatch.
+func (e *Engine) PushBatch(input string, ts []data.Tuple) error {
+	in, ok := e.Input(input)
+	if !ok {
+		return fmt.Errorf("stream: no input %q on node %s", input, e.name)
+	}
+	in.PushBatch(ts)
 	return nil
 }
 

@@ -12,6 +12,11 @@ import (
 // from upstream Window operators); an insertion probes the opposite table
 // and emits joined insertions, a deletion emits joined retractions. The
 // result is exactly the join of the two windows at every instant.
+//
+// Tables are keyed by 64-bit hashes of the canonical join-key encoding
+// rather than materialized key strings, so the per-tuple path performs no
+// heap allocation; buckets may mix distinct keys on hash collision, and
+// every probe hit is verified with EqualOn before emitting.
 type Join struct {
 	next Operator
 
@@ -19,8 +24,9 @@ type Join struct {
 	out             *data.Schema
 	lKey, rKey      []int // equi-join column indexes
 	residual        *expr.Compiled
-	lTable          map[string][]data.Tuple
-	rTable          map[string][]data.Tuple
+	lTable          map[uint64][]data.Tuple
+	rTable          map[uint64][]data.Tuple
+	hasher          data.Hasher
 	leftIn, rightIn joinInput
 }
 
@@ -50,8 +56,12 @@ func NewJoin(next Operator, left, right *data.Schema, lCols, rCols []string, res
 	out := left.Concat(right)
 	j := &Join{
 		next: next, left: left, right: right, out: out,
-		lTable: map[string][]data.Tuple{}, rTable: map[string][]data.Tuple{},
+		lTable: map[uint64][]data.Tuple{}, rTable: map[uint64][]data.Tuple{},
 	}
+	// Key slices stay non-nil: HashOn(t, nil) means "all columns", but an
+	// empty key list means a pure cross/residual join (single bucket).
+	j.lKey = make([]int, 0, len(lCols))
+	j.rKey = make([]int, 0, len(rCols))
 	for _, c := range lCols {
 		i, err := left.ColIndex(c)
 		if err != nil {
@@ -92,14 +102,14 @@ func (j *Join) Right() Operator { return &j.rightIn }
 func (j *Join) OutSchema() *data.Schema { return j.out }
 
 func (j *Join) push(t data.Tuple, fromLeft bool) {
-	var mine, other map[string][]data.Tuple
-	var myKey []int
+	var mine, other map[uint64][]data.Tuple
+	var myKey, otherKey []int
 	if fromLeft {
-		mine, other, myKey = j.lTable, j.rTable, j.lKey
+		mine, other, myKey, otherKey = j.lTable, j.rTable, j.lKey, j.rKey
 	} else {
-		mine, other, myKey = j.rTable, j.lTable, j.rKey
+		mine, other, myKey, otherKey = j.rTable, j.lTable, j.rKey, j.lKey
 	}
-	key := t.KeyOn(myKey)
+	key := j.hasher.HashOn(t, myKey) & testHashMask
 
 	switch t.Op {
 	case data.Insert:
@@ -108,9 +118,12 @@ func (j *Join) push(t data.Tuple, fromLeft bool) {
 		bucket := mine[key]
 		for i, b := range bucket {
 			if b.EqualVals(t) {
-				mine[key] = append(bucket[:i], bucket[i+1:]...)
-				if len(mine[key]) == 0 {
+				copy(bucket[i:], bucket[i+1:])
+				bucket[len(bucket)-1] = data.Tuple{} // drop the reference for GC
+				if len(bucket) == 1 {
 					delete(mine, key)
+				} else {
+					mine[key] = bucket[:len(bucket)-1]
 				}
 				break
 			}
@@ -118,6 +131,9 @@ func (j *Join) push(t data.Tuple, fromLeft bool) {
 	}
 
 	for _, m := range other[key] {
+		if !t.EqualOn(myKey, m, otherKey) {
+			continue // hash collision, not a join partner
+		}
 		var joined data.Tuple
 		if fromLeft {
 			joined = t.Concat(m)
@@ -141,7 +157,7 @@ func (j *Join) SizeLeft() int { return tableSize(j.lTable) }
 // SizeRight reports the right table population.
 func (j *Join) SizeRight() int { return tableSize(j.rTable) }
 
-func tableSize(m map[string][]data.Tuple) int {
+func tableSize(m map[uint64][]data.Tuple) int {
 	n := 0
 	for _, b := range m {
 		n += len(b)

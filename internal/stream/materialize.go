@@ -18,10 +18,18 @@ type OrderSpec struct {
 // continuous query. Displays take ordered snapshots from it — this is how
 // ORDER BY / LIMIT are given meaning over unbounded streams, and how the
 // SmartCIS GUI renders live results (§4).
+//
+// Rows are keyed by 64-bit hashes of the full canonical key with
+// collision buckets verified by EqualVals, and retired rows feed a small
+// freelist, so the steady-state retract/insert churn of upstream
+// aggregates allocates nothing.
 type Materialize struct {
 	mu     sync.Mutex
 	schema *data.Schema
-	rows   map[string]*matRow
+	rows   map[uint64][]*matRow
+	n      int // distinct rows
+	free   []*matRow
+	hasher data.Hasher
 	// OnChange, when set, fires after every mutation; the GUI uses it to
 	// repaint.
 	OnChange func()
@@ -33,34 +41,88 @@ type matRow struct {
 	count int
 }
 
+// freelistCap bounds retained retired rows.
+const freelistCap = 1024
+
 // NewMaterialize creates an empty materialized result with the schema.
 func NewMaterialize(schema *data.Schema) *Materialize {
-	return &Materialize{schema: schema, rows: map[string]*matRow{}}
+	return &Materialize{schema: schema, rows: map[uint64][]*matRow{}}
 }
 
 // Schema implements Operator.
 func (m *Materialize) Schema() *data.Schema { return m.schema }
 
-// Push implements Operator.
-func (m *Materialize) Push(t data.Tuple) {
-	m.mu.Lock()
-	key := t.Key()
+// apply performs one mutation under m.mu.
+func (m *Materialize) apply(t data.Tuple) {
+	key := m.hasher.Hash(t) & testHashMask
+	bucket := m.rows[key]
+	slot := -1
+	for i, r := range bucket {
+		if r.t.EqualVals(t) {
+			slot = i
+			break
+		}
+	}
 	switch t.Op {
 	case data.Insert:
-		if r := m.rows[key]; r != nil {
-			r.count++
-		} else {
-			m.rows[key] = &matRow{t: t.Clone(), count: 1}
+		if slot >= 0 {
+			bucket[slot].count++
+			break
 		}
+		var r *matRow
+		if n := len(m.free); n > 0 {
+			r = m.free[n-1]
+			m.free = m.free[:n-1]
+			r.t = t.CloneInto(r.t.Vals)
+		} else {
+			r = &matRow{t: t.Clone()}
+		}
+		r.count = 1
+		m.rows[key] = append(bucket, r)
+		m.n++
 	case data.Delete:
-		if r := m.rows[key]; r != nil {
-			r.count--
-			if r.count <= 0 {
+		if slot < 0 {
+			break
+		}
+		r := bucket[slot]
+		r.count--
+		if r.count <= 0 {
+			bucket[slot] = bucket[len(bucket)-1]
+			bucket[len(bucket)-1] = nil
+			m.rows[key] = bucket[:len(bucket)-1]
+			if len(m.rows[key]) == 0 {
 				delete(m.rows, key)
+			}
+			m.n--
+			if len(m.free) < freelistCap {
+				m.free = append(m.free, r)
 			}
 		}
 	}
 	m.version++
+}
+
+// Push implements Operator.
+func (m *Materialize) Push(t data.Tuple) {
+	m.mu.Lock()
+	m.apply(t)
+	cb := m.OnChange
+	m.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+// PushBatch implements BatchOperator: one lock acquisition and one
+// OnChange notification per batch.
+func (m *Materialize) PushBatch(ts []data.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, t := range ts {
+		m.apply(t)
+	}
 	cb := m.OnChange
 	m.mu.Unlock()
 	if cb != nil {
@@ -72,7 +134,7 @@ func (m *Materialize) Push(t data.Tuple) {
 func (m *Materialize) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.rows)
+	return m.n
 }
 
 // Version increments on every mutation; displays poll it cheaply.
@@ -95,10 +157,12 @@ func (m *Materialize) Snapshot(order []OrderSpec, limit int) ([]data.Tuple, erro
 		idx[i] = j
 	}
 	m.mu.Lock()
-	out := make([]data.Tuple, 0, len(m.rows))
-	for _, r := range m.rows {
-		for i := 0; i < r.count; i++ {
-			out = append(out, r.t.Clone())
+	out := make([]data.Tuple, 0, m.n)
+	for _, bucket := range m.rows {
+		for _, r := range bucket {
+			for i := 0; i < r.count; i++ {
+				out = append(out, r.t.Clone())
+			}
 		}
 	}
 	m.mu.Unlock()

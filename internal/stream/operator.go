@@ -21,12 +21,45 @@ import (
 )
 
 // Operator is a push-based tuple consumer.
+//
+// Ownership: an operator may retain a pushed tuple as internal state
+// (windows buffer them, join tables index them), so a producer must not
+// reuse a tuple's Vals after pushing it; fan-out points (Tee, engine
+// inputs) clone per consumer for exactly this reason. Conversely, sinks
+// that copy what they keep (Materialize, Collector) always Clone.
 type Operator interface {
 	// Schema describes the tuples this operator accepts.
 	Schema() *data.Schema
 	// Push processes one tuple (insert or delete).
 	Push(t data.Tuple)
 }
+
+// BatchOperator is implemented by operators with a native batched push
+// that amortizes per-tuple dispatch (locking, transport framing, window
+// maintenance) over the batch.
+type BatchOperator interface {
+	Operator
+	// PushBatch processes the tuples in order. The batch slice itself is
+	// only valid during the call; the tuples inside follow the Push
+	// ownership rules.
+	PushBatch(ts []data.Tuple)
+}
+
+// PushBatch delivers a batch to op, using its native batch path when
+// implemented and falling back to per-tuple Push otherwise.
+func PushBatch(op Operator, ts []data.Tuple) {
+	if b, ok := op.(BatchOperator); ok {
+		b.PushBatch(ts)
+		return
+	}
+	for _, t := range ts {
+		op.Push(t)
+	}
+}
+
+// testHashMask narrows operator key hashes; tests set it to 0 to force
+// every key into one collision bucket, exercising bucket verification.
+var testHashMask = ^uint64(0)
 
 // Advancer is implemented by operators with time-driven state (windows);
 // the engine ticks them so expiry happens even when a stream goes quiet.
@@ -37,8 +70,9 @@ type Advancer interface {
 // Filter drops tuples failing a predicate. Polarity passes through
 // unchanged: a deletion of a tuple that passed is a deletion downstream.
 type Filter struct {
-	next Operator
-	pred *expr.Compiled
+	next  Operator
+	pred  *expr.Compiled
+	batch []data.Tuple // scratch for PushBatch
 }
 
 // NewFilter builds a filter in front of next.
@@ -56,11 +90,27 @@ func (f *Filter) Push(t data.Tuple) {
 	}
 }
 
+// PushBatch implements BatchOperator: the passing subset forwards as one
+// batch.
+func (f *Filter) PushBatch(ts []data.Tuple) {
+	out := f.batch[:0]
+	for _, t := range ts {
+		if f.pred.EvalBool(t) {
+			out = append(out, t)
+		}
+	}
+	f.batch = out[:0]
+	if len(out) > 0 {
+		PushBatch(f.next, out)
+	}
+}
+
 // Project maps tuples through scalar expressions.
 type Project struct {
 	next   Operator
 	exprs  []*expr.Compiled
 	schema *data.Schema
+	batch  []data.Tuple // scratch for PushBatch
 }
 
 // ProjectItem is one projected expression with an optional alias.
@@ -123,16 +173,45 @@ func (p *Project) Push(t data.Tuple) {
 	p.next.Push(data.Tuple{Vals: vals, TS: t.TS, Op: t.Op})
 }
 
+// PushBatch implements BatchOperator: output rows share one backing array,
+// amortizing the per-tuple Vals allocation over the batch.
+func (p *Project) PushBatch(ts []data.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	n := len(p.exprs)
+	backing := make([]data.Value, n*len(ts))
+	out := p.batch[:0]
+	for i, t := range ts {
+		vals := backing[i*n : (i+1)*n : (i+1)*n]
+		for k, e := range p.exprs {
+			vals[k] = e.Eval(t)
+		}
+		out = append(out, data.Tuple{Vals: vals, TS: t.TS, Op: t.Op})
+	}
+	p.batch = out[:0]
+	PushBatch(p.next, out)
+}
+
 // Distinct enforces set semantics over a delta stream using multiplicity
 // counting: an insert is forwarded only on 0→1, a delete only on 1→0.
+// Multiplicities are keyed by 64-bit hashes of the full canonical key;
+// each bucket entry keeps a cloned representative tuple so collisions are
+// resolved exactly with EqualVals.
 type Distinct struct {
 	next   Operator
-	counts map[string]int
+	counts map[uint64][]distinctEntry
+	hasher data.Hasher
+}
+
+type distinctEntry struct {
+	t     data.Tuple // cloned representative
+	count int
 }
 
 // NewDistinct builds a distinct operator.
 func NewDistinct(next Operator) *Distinct {
-	return &Distinct{next: next, counts: map[string]int{}}
+	return &Distinct{next: next, counts: map[uint64][]distinctEntry{}}
 }
 
 // Schema implements Operator.
@@ -140,20 +219,35 @@ func (d *Distinct) Schema() *data.Schema { return d.next.Schema() }
 
 // Push implements Operator.
 func (d *Distinct) Push(t data.Tuple) {
-	k := t.Key()
+	k := d.hasher.Hash(t) & testHashMask
+	bucket := d.counts[k]
+	slot := -1
+	for i := range bucket {
+		if bucket[i].t.EqualVals(t) {
+			slot = i
+			break
+		}
+	}
 	switch t.Op {
 	case data.Insert:
-		d.counts[k]++
-		if d.counts[k] == 1 {
+		if slot < 0 {
+			d.counts[k] = append(bucket, distinctEntry{t: t.Clone(), count: 1})
 			d.next.Push(t)
+			return
 		}
+		bucket[slot].count++
 	case data.Delete:
-		if d.counts[k] == 0 {
+		if slot < 0 {
 			return // deletion of an unseen tuple: ignore
 		}
-		d.counts[k]--
-		if d.counts[k] == 0 {
-			delete(d.counts, k)
+		bucket[slot].count--
+		if bucket[slot].count == 0 {
+			bucket[slot] = bucket[len(bucket)-1]
+			bucket[len(bucket)-1] = distinctEntry{}
+			d.counts[k] = bucket[:len(bucket)-1]
+			if len(d.counts[k]) == 0 {
+				delete(d.counts, k)
+			}
 			d.next.Push(t)
 		}
 	}
@@ -179,6 +273,18 @@ func (t *Tee) Schema() *data.Schema {
 func (t *Tee) Push(tu data.Tuple) {
 	for _, o := range t.outs {
 		o.Push(tu.Clone())
+	}
+}
+
+// PushBatch implements BatchOperator: each consumer receives its own
+// cloned batch in one dispatch.
+func (t *Tee) PushBatch(ts []data.Tuple) {
+	for _, o := range t.outs {
+		cl := make([]data.Tuple, len(ts))
+		for i, tu := range ts {
+			cl[i] = tu.Clone()
+		}
+		PushBatch(o, cl)
 	}
 }
 
@@ -216,6 +322,15 @@ func (c *Collector) Schema() *data.Schema { return c.schema }
 func (c *Collector) Push(t data.Tuple) {
 	c.mu.Lock()
 	c.Tuples = append(c.Tuples, t.Clone())
+	c.mu.Unlock()
+}
+
+// PushBatch implements BatchOperator: one lock acquisition per batch.
+func (c *Collector) PushBatch(ts []data.Tuple) {
+	c.mu.Lock()
+	for _, t := range ts {
+		c.Tuples = append(c.Tuples, t.Clone())
+	}
 	c.mu.Unlock()
 }
 

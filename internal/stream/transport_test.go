@@ -83,6 +83,53 @@ func TestTCPTransportDelivers(t *testing.T) {
 	}
 }
 
+func TestTCPTransportBatchDelivers(t *testing.T) {
+	remote := NewEngine("remote", vtime.NewScheduler())
+	in := remote.MustRegister("s", tempSchema())
+	col := NewCollector(tempSchema())
+	in.Subscribe(col)
+
+	srv, err := NewServer(remote, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	batch := make([]data.Tuple, 0, 10)
+	for i := 0; i < 10; i++ {
+		batch = append(batch, temp(int64(i+1), "L1", float64(i)))
+	}
+	batch[7] = batch[7].Negate()
+	if err := cl.SendBatch("s", batch); err != nil {
+		t.Fatal(err)
+	}
+	// Singles and batches interleave on one connection.
+	if err := cl.Send("s", temp(99, "L2", 42)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return col.Len() == 11 })
+	got := col.Snapshot()
+	for i := 0; i < 10; i++ {
+		if got[i].Vals[1].AsFloat() != float64(i) {
+			t.Fatalf("batch order broken: %v", got)
+		}
+	}
+	if got[7].Op != data.Delete {
+		t.Fatal("polarity lost in batch")
+	}
+	if got[10].Vals[0].AsString() != "L2" {
+		t.Fatal("single after batch lost")
+	}
+	if err := cl.SendBatch("s", nil); err != nil {
+		t.Fatal("empty batch must be a no-op")
+	}
+}
+
 func TestTCPTransportUnknownInputDropped(t *testing.T) {
 	remote := NewEngine("remote", vtime.NewScheduler())
 	srv, err := NewServer(remote, "127.0.0.1:0")

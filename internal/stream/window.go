@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"container/list"
 	"time"
 
 	"aspen/internal/data"
@@ -19,6 +18,9 @@ import (
 //	[RANGE r SLIDE s]  time window advancing at s boundaries
 //	[ROWS n]           last-n window
 //	[NOW]              each tuple inserted then immediately retracted
+//
+// Ring state lives in a compacting slice ring rather than a linked list,
+// so steady-state insert/expire performs no per-tuple allocation.
 type Window struct {
 	next Operator
 
@@ -26,8 +28,10 @@ type Window struct {
 	rng     time.Duration
 	slide   time.Duration
 	rows    int
-	buf     *list.List // of data.Tuple in arrival order
+	buf     []data.Tuple // live tuples in arrival order at buf[head:]
+	head    int
 	lastAdv vtime.Time
+	batch   []data.Tuple // scratch for batched downstream dispatch
 }
 
 type windowKind uint8
@@ -40,94 +44,147 @@ const (
 
 // NewTimeWindow builds a [RANGE rng] / [RANGE rng SLIDE slide] window.
 func NewTimeWindow(next Operator, rng, slide time.Duration) *Window {
-	return &Window{next: next, kind: windowTime, rng: rng, slide: slide, buf: list.New()}
+	return &Window{next: next, kind: windowTime, rng: rng, slide: slide}
 }
 
 // NewRowsWindow builds a [ROWS n] window.
 func NewRowsWindow(next Operator, n int) *Window {
-	return &Window{next: next, kind: windowRows, rows: n, buf: list.New()}
+	return &Window{next: next, kind: windowRows, rows: n}
 }
 
 // NewNowWindow builds a [NOW] window.
 func NewNowWindow(next Operator) *Window {
-	return &Window{next: next, kind: windowNow, buf: list.New()}
+	return &Window{next: next, kind: windowNow}
 }
 
 // Schema implements Operator.
 func (w *Window) Schema() *data.Schema { return w.next.Schema() }
 
+// popFront removes and returns the oldest buffered tuple, compacting the
+// ring once the dead prefix dominates so memory stays bounded by ~2x the
+// live window.
+func (w *Window) popFront() data.Tuple {
+	t := w.buf[w.head]
+	w.buf[w.head] = data.Tuple{} // drop the reference for GC
+	w.head++
+	if w.head > 32 && w.head > len(w.buf)/2 {
+		n := copy(w.buf, w.buf[w.head:])
+		clear(w.buf[n:])
+		w.buf = w.buf[:n]
+		w.head = 0
+	}
+	return t
+}
+
+// removeAt deletes the buffered tuple at absolute index i, preserving
+// arrival order.
+func (w *Window) removeAt(i int) {
+	copy(w.buf[i:], w.buf[i+1:])
+	w.buf[len(w.buf)-1] = data.Tuple{}
+	w.buf = w.buf[:len(w.buf)-1]
+}
+
 // Push implements Operator. Deletions pass through (an upstream retraction
 // removes the tuple from the window if present).
 func (w *Window) Push(t data.Tuple) {
+	out := w.apply(t, w.batch[:0])
+	w.batch = out[:0]
+	for _, o := range out {
+		w.next.Push(o)
+	}
+}
+
+// PushBatch implements BatchOperator: window maintenance for the whole
+// batch runs first, then the resulting deltas ship downstream in one
+// dispatch.
+func (w *Window) PushBatch(ts []data.Tuple) {
+	out := w.batch[:0]
+	for _, t := range ts {
+		out = w.apply(t, out)
+	}
+	w.batch = out[:0]
+	if len(out) > 0 {
+		PushBatch(w.next, out)
+	}
+}
+
+// apply performs window maintenance for one tuple and appends the deltas
+// to emit downstream (in order) to out.
+func (w *Window) apply(t data.Tuple, out []data.Tuple) []data.Tuple {
 	if t.Op == data.Delete {
-		w.removeOne(t)
-		return
+		return w.removeOne(t, out)
 	}
 	switch w.kind {
 	case windowNow:
-		w.next.Push(t)
-		w.next.Push(t.Negate())
+		out = append(out, t, t.Negate())
 
 	case windowRows:
-		w.buf.PushBack(t)
-		w.next.Push(t)
-		for w.buf.Len() > w.rows {
-			old := w.buf.Remove(w.buf.Front()).(data.Tuple)
-			out := old.Negate()
-			out.TS = t.TS
-			w.next.Push(out)
+		w.buf = append(w.buf, t)
+		out = append(out, t)
+		for w.Len() > w.rows {
+			old := w.popFront()
+			del := old.Negate()
+			del.TS = t.TS
+			out = append(out, del)
 		}
 
 	case windowTime:
 		// Event time drives expiry: everything older than t.TS - rng leaves.
-		w.advanceTo(t.TS)
-		w.buf.PushBack(t)
-		w.next.Push(t)
+		out = w.advanceTo(t.TS, out)
+		w.buf = append(w.buf, t)
+		out = append(out, t)
 	}
+	return out
 }
 
 // Advance expires by (virtual) wall-clock time; the engine calls this on
 // ticks so windows drain during stream silence.
 func (w *Window) Advance(now vtime.Time) {
-	if w.kind == windowTime {
-		w.advanceTo(now)
+	if w.kind != windowTime {
+		return
+	}
+	out := w.advanceTo(now, w.batch[:0])
+	w.batch = out[:0]
+	for _, o := range out {
+		w.next.Push(o)
 	}
 }
 
-func (w *Window) advanceTo(now vtime.Time) {
+func (w *Window) advanceTo(now vtime.Time, out []data.Tuple) []data.Tuple {
 	if w.slide > 0 {
 		// snap expiry to slide boundaries
 		boundary := (int64(now) / int64(w.slide)) * int64(w.slide)
 		now = vtime.Time(boundary)
 		if now <= w.lastAdv {
-			return
+			return out
 		}
 		w.lastAdv = now
 	}
 	cutoff := now.Add(-w.rng)
-	for w.buf.Len() > 0 {
-		front := w.buf.Front().Value.(data.Tuple)
+	for w.Len() > 0 {
+		front := w.buf[w.head]
 		if front.TS > cutoff {
 			break
 		}
-		w.buf.Remove(w.buf.Front())
-		out := front.Negate()
-		out.TS = now
-		w.next.Push(out)
+		w.popFront()
+		del := front.Negate()
+		del.TS = now
+		out = append(out, del)
 	}
+	return out
 }
 
-// removeOne deletes the first buffered tuple equal to t and forwards the
-// retraction if found.
-func (w *Window) removeOne(t data.Tuple) {
-	for e := w.buf.Front(); e != nil; e = e.Next() {
-		if e.Value.(data.Tuple).EqualVals(t) {
-			w.buf.Remove(e)
-			w.next.Push(t)
-			return
+// removeOne deletes the first buffered tuple equal to t and appends the
+// retraction to out if found.
+func (w *Window) removeOne(t data.Tuple, out []data.Tuple) []data.Tuple {
+	for i := w.head; i < len(w.buf); i++ {
+		if w.buf[i].EqualVals(t) {
+			w.removeAt(i)
+			return append(out, t)
 		}
 	}
+	return out
 }
 
 // Len reports the current window population (for tests and plan displays).
-func (w *Window) Len() int { return w.buf.Len() }
+func (w *Window) Len() int { return len(w.buf) - w.head }

@@ -15,6 +15,12 @@
 // re-derivation consults the recorded alternative derivations rather than
 // re-running the query — including correctly retracting cyclically
 // self-supporting tuples, where simple derivation counting is wrong.
+//
+// Facts and edges are identified by 64-bit hashes of their canonical key
+// with collision buckets verified by EqualVals — no key strings are
+// materialized — and the provenance graph links *fact / *edge pointers
+// directly, so maintenance allocates only when a genuinely new tuple
+// enters the view.
 package views
 
 import (
@@ -56,21 +62,35 @@ type Derivation struct {
 	ViewParent, EdgeParent string
 }
 
+// deriv records one firing of the recursive rule by its antecedents.
 type deriv struct {
-	vParent, eParent string
+	vParent *fact
+	eParent *edge
 }
 
 type fact struct {
 	t        data.Tuple
+	hash     uint64 // full-key identity hash
+	jkHash   uint64 // join-key hash over the view key columns
 	baseMult int
 	derivs   map[deriv]struct{}
 	depth    int
+	children map[*fact]struct{} // facts derived with this fact as view parent
+	live     bool
 }
 
 type edge struct {
-	t    data.Tuple
-	mult int
+	t        data.Tuple
+	hash     uint64 // full-key identity hash
+	jkHash   uint64 // join-key hash over the edge key columns
+	mult     int
+	children map[*fact]struct{} // facts derived with this edge
+	live     bool
 }
+
+// testHashMask narrows identity and join-key hashes; tests set it to 0 to
+// force every tuple into one collision bucket.
+var testHashMask = ^uint64(0)
 
 // View is a maintained recursive view.
 type View struct {
@@ -81,15 +101,20 @@ type View struct {
 	residual *expr.Compiled
 	project  []*expr.Compiled
 	out      stream.Operator
-	facts    map[string]*fact
-	vIdx     map[string]map[string]struct{} // view join key -> fact keys
-	edges    map[string]*edge
-	eIdx     map[string]map[string]struct{} // edge join key -> edge keys
-	childOfV map[string]map[string]struct{} // fact key -> child fact keys
-	childOfE map[string]map[string]struct{} // edge key -> child fact keys
-	stats    Stats
-	baseIn   baseInput
-	edgeIn   edgeInput
+	facts    map[uint64][]*fact // identity hash -> facts (EqualVals-verified)
+	vIdx     map[uint64][]*fact // view join-key hash -> facts
+	edges    map[uint64][]*edge // identity hash -> edges
+	eIdx     map[uint64][]*edge // edge join-key hash -> edges
+	nFacts   int
+	hasher   data.Hasher
+	// scratch buffers for the rule firing hot path: the joined tuple and
+	// the projected child are built here and cloned only when a new fact
+	// is actually inserted.
+	joinScratch []data.Value
+	projScratch []data.Value
+	stats       Stats
+	baseIn      baseInput
+	edgeIn      edgeInput
 }
 
 // Stats counts maintenance work, the E6 efficiency metric.
@@ -112,16 +137,17 @@ func New(cfg Config, out stream.Operator) (*View, error) {
 			len(cfg.Project), cfg.Schema.Arity())
 	}
 	v := &View{
-		cfg:      cfg,
-		joined:   cfg.Schema.Concat(cfg.EdgeSchema),
-		out:      out,
-		facts:    map[string]*fact{},
-		vIdx:     map[string]map[string]struct{}{},
-		edges:    map[string]*edge{},
-		eIdx:     map[string]map[string]struct{}{},
-		childOfV: map[string]map[string]struct{}{},
-		childOfE: map[string]map[string]struct{}{},
+		cfg:    cfg,
+		joined: cfg.Schema.Concat(cfg.EdgeSchema),
+		out:    out,
+		facts:  map[uint64][]*fact{},
+		vIdx:   map[uint64][]*fact{},
+		edges:  map[uint64][]*edge{},
+		eIdx:   map[uint64][]*edge{},
 	}
+	// Key index slices stay non-nil: HashOn(t, nil) means "all columns".
+	v.vKeyIdx = make([]int, 0, len(cfg.ViewKey))
+	v.eKeyIdx = make([]int, 0, len(cfg.EdgeKey))
 	for _, c := range cfg.ViewKey {
 		i, err := cfg.Schema.ColIndex(c)
 		if err != nil {
@@ -168,13 +194,36 @@ func (v *View) Schema() *data.Schema { return v.cfg.Schema }
 func (v *View) Stats() Stats { return v.stats }
 
 // Len returns the current number of view tuples.
-func (v *View) Len() int { return len(v.facts) }
+func (v *View) Len() int { return v.nFacts }
+
+// findFact resolves a tuple to its live fact, verifying hash-bucket
+// candidates with EqualVals.
+func (v *View) findFact(t data.Tuple, h uint64) *fact {
+	for _, f := range v.facts[h] {
+		if f.t.EqualVals(t) {
+			return f
+		}
+	}
+	return nil
+}
+
+// findEdge is findFact for edges.
+func (v *View) findEdge(t data.Tuple, h uint64) *edge {
+	for _, e := range v.edges[h] {
+		if e.t.EqualVals(t) {
+			return e
+		}
+	}
+	return nil
+}
 
 // Snapshot returns the current view contents sorted by canonical key.
 func (v *View) Snapshot() []data.Tuple {
-	out := make([]data.Tuple, 0, len(v.facts))
-	for _, f := range v.facts {
-		out = append(out, f.t.Clone())
+	out := make([]data.Tuple, 0, v.nFacts)
+	for _, bucket := range v.facts {
+		for _, f := range bucket {
+			out = append(out, f.t.Clone())
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
@@ -183,8 +232,8 @@ func (v *View) Snapshot() []data.Tuple {
 // Explain returns the recorded derivations of a tuple currently in the
 // view (nil when absent).
 func (v *View) Explain(t data.Tuple) []Derivation {
-	f, ok := v.facts[t.Key()]
-	if !ok {
+	f := v.findFact(t, v.hasher.Hash(t)&testHashMask)
+	if f == nil {
 		return nil
 	}
 	var out []Derivation
@@ -193,11 +242,11 @@ func (v *View) Explain(t data.Tuple) []Derivation {
 	}
 	for d := range f.derivs {
 		vp, ep := "", ""
-		if pf, ok := v.facts[d.vParent]; ok {
-			vp = pf.t.String()
+		if d.vParent != nil && d.vParent.live {
+			vp = d.vParent.t.String()
 		}
-		if pe, ok := v.edges[d.eParent]; ok {
-			ep = pe.t.String()
+		if d.eParent != nil && d.eParent.live {
+			ep = d.eParent.t.String()
 		}
 		out = append(out, Derivation{ViewParent: vp, EdgeParent: ep})
 	}
@@ -238,148 +287,148 @@ func (e *edgeInput) Push(t data.Tuple) {
 // --- insertion ---------------------------------------------------------
 
 func (v *View) insertBase(t data.Tuple) {
-	key := t.Key()
-	f := v.facts[key]
+	h := v.hasher.Hash(t) & testHashMask
+	f := v.findFact(t, h)
 	fresh := f == nil
 	if fresh {
-		f = &fact{t: t.Clone(), derivs: map[deriv]struct{}{}, depth: 0}
+		f = &fact{t: t.Clone(), hash: h, derivs: map[deriv]struct{}{}, live: true}
 		f.t.Op = data.Insert
-		v.facts[key] = f
-		v.addVIdx(key, f)
+		f.jkHash = v.hasher.HashOn(f.t, v.vKeyIdx) & testHashMask
+		v.facts[h] = append(v.facts[h], f)
+		v.vIdx[f.jkHash] = append(v.vIdx[f.jkHash], f)
+		v.nFacts++
 	}
 	f.baseMult++
 	v.stats.TuplesTouched++
 	if fresh {
 		v.emit(f.t, data.Insert, t.TS)
-		v.expand([]string{key}, t.TS)
+		v.expand([]*fact{f}, t.TS)
 	} else if f.depth > 0 {
 		// Base support shortens the depth to zero; re-expand under MaxDepth.
 		f.depth = 0
-		v.expand([]string{key}, t.TS)
+		v.expand([]*fact{f}, t.TS)
 	}
 }
 
 func (v *View) insertEdge(t data.Tuple) {
-	key := t.Key()
-	e := v.edges[key]
+	h := v.hasher.Hash(t) & testHashMask
+	e := v.findEdge(t, h)
 	if e == nil {
-		e = &edge{t: t.Clone()}
+		e = &edge{t: t.Clone(), hash: h, live: true}
 		e.t.Op = data.Insert
-		v.edges[key] = e
-		jk := t.KeyOn(v.eKeyIdx)
-		if v.eIdx[jk] == nil {
-			v.eIdx[jk] = map[string]struct{}{}
-		}
-		v.eIdx[jk][key] = struct{}{}
+		e.jkHash = v.hasher.HashOn(e.t, v.eKeyIdx) & testHashMask
+		v.edges[h] = append(v.edges[h], e)
+		v.eIdx[e.jkHash] = append(v.eIdx[e.jkHash], e)
 	}
 	e.mult++
 	if e.mult > 1 {
 		return
 	}
 	// Probe existing view facts joining with the new edge.
-	jk := t.KeyOn(v.eKeyIdx)
-	var work []string
-	for fk := range v.vIdx[jk] {
-		if nk, ok := v.deriveOne(fk, key, t.TS); ok {
-			work = append(work, nk)
+	var work []*fact
+	for _, f := range v.vIdx[e.jkHash] {
+		if nf, ok := v.deriveOne(f, e, t.TS); ok {
+			work = append(work, nf)
 		}
 	}
 	v.expand(work, t.TS)
 }
 
-// expand runs semi-naive derivation from the given newly (re)inserted fact
-// keys.
-func (v *View) expand(work []string, ts vtime.Time) {
+// expand runs semi-naive derivation from the given newly (re)inserted
+// facts.
+func (v *View) expand(work []*fact, ts vtime.Time) {
 	for len(work) > 0 {
-		fk := work[0]
+		f := work[0]
 		work = work[1:]
-		f := v.facts[fk]
-		if f == nil {
+		if !f.live {
 			continue
 		}
-		jk := f.t.KeyOn(v.vKeyIdx)
-		for ek := range v.eIdx[jk] {
-			if nk, ok := v.deriveOne(fk, ek, ts); ok {
-				work = append(work, nk)
+		for _, e := range v.eIdx[f.jkHash] {
+			if nf, ok := v.deriveOne(f, e, ts); ok {
+				work = append(work, nf)
 			}
 		}
 	}
 }
 
 // deriveOne fires the recursive rule for one (view fact, edge) pair.
-// It returns the child key and whether the child is new or had its depth
+// It returns the child fact and whether the child is new or had its depth
 // improved (requiring further expansion).
-func (v *View) deriveOne(fk, ek string, ts vtime.Time) (string, bool) {
-	f := v.facts[fk]
-	e := v.edges[ek]
-	if f == nil || e == nil {
-		return "", false
+func (v *View) deriveOne(f *fact, e *edge, ts vtime.Time) (*fact, bool) {
+	if f == nil || e == nil || !f.live || !e.live {
+		return nil, false
 	}
 	if v.cfg.MaxDepth > 0 && f.depth+1 > v.cfg.MaxDepth {
-		return "", false
+		return nil, false
+	}
+	if !f.t.EqualOn(v.vKeyIdx, e.t, v.eKeyIdx) {
+		return nil, false // join-key hash collision, not a real partner
 	}
 	v.stats.DerivationsTried++
-	joined := f.t.Concat(e.t)
+	joined := f.t.ConcatInto(v.joinScratch, e.t)
+	v.joinScratch = joined.Vals[:0]
 	joined.Op = data.Insert
 	if v.residual != nil && !v.residual.EvalBool(joined) {
-		return "", false
+		return nil, false
 	}
-	vals := make([]data.Value, len(v.project))
-	for i, p := range v.project {
-		vals[i] = p.Eval(joined)
+	vals := v.projScratch[:0]
+	if cap(vals) < len(v.project) {
+		vals = make([]data.Value, 0, len(v.project))
 	}
+	for _, p := range v.project {
+		vals = append(vals, p.Eval(joined))
+	}
+	v.projScratch = vals[:0]
 	child := data.Tuple{Vals: vals, TS: ts, Op: data.Insert}
-	ck := child.Key()
-	if ck == fk {
-		return "", false // self-derivation carries no information
-	}
-	d := deriv{vParent: fk, eParent: ek}
-	cf := v.facts[ck]
-	if cf != nil {
+	ch := v.hasher.Hash(child) & testHashMask
+	d := deriv{vParent: f, eParent: e}
+	if cf := v.findFact(child, ch); cf != nil {
+		if cf == f {
+			return nil, false // self-derivation carries no information
+		}
 		if _, dup := cf.derivs[d]; dup {
-			return "", false
+			return nil, false
 		}
 		cf.derivs[d] = struct{}{}
-		v.link(fk, ek, ck)
+		v.link(f, e, cf)
 		if f.depth+1 < cf.depth {
 			cf.depth = f.depth + 1
-			return ck, true // depth improved: may enable deeper derivations
+			return cf, true // depth improved: may enable deeper derivations
 		}
-		return "", false
+		return nil, false
 	}
-	cf = &fact{t: child.Clone(), derivs: map[deriv]struct{}{d: {}}, depth: f.depth + 1}
-	v.facts[ck] = cf
-	v.addVIdx(ck, cf)
-	v.link(fk, ek, ck)
+	cf := &fact{
+		t:      child.Clone(),
+		hash:   ch,
+		derivs: map[deriv]struct{}{d: {}},
+		depth:  f.depth + 1,
+		live:   true,
+	}
+	cf.jkHash = v.hasher.HashOn(cf.t, v.vKeyIdx) & testHashMask
+	v.facts[ch] = append(v.facts[ch], cf)
+	v.vIdx[cf.jkHash] = append(v.vIdx[cf.jkHash], cf)
+	v.nFacts++
+	v.link(f, e, cf)
 	v.stats.TuplesTouched++
 	v.emit(cf.t, data.Insert, ts)
-	return ck, true
+	return cf, true
 }
 
-func (v *View) addVIdx(key string, f *fact) {
-	jk := f.t.KeyOn(v.vKeyIdx)
-	if v.vIdx[jk] == nil {
-		v.vIdx[jk] = map[string]struct{}{}
+func (v *View) link(f *fact, e *edge, child *fact) {
+	if f.children == nil {
+		f.children = map[*fact]struct{}{}
 	}
-	v.vIdx[jk][key] = struct{}{}
-}
-
-func (v *View) link(fk, ek, child string) {
-	if v.childOfV[fk] == nil {
-		v.childOfV[fk] = map[string]struct{}{}
+	f.children[child] = struct{}{}
+	if e.children == nil {
+		e.children = map[*fact]struct{}{}
 	}
-	v.childOfV[fk][child] = struct{}{}
-	if v.childOfE[ek] == nil {
-		v.childOfE[ek] = map[string]struct{}{}
-	}
-	v.childOfE[ek][child] = struct{}{}
+	e.children[child] = struct{}{}
 }
 
 // --- deletion (provenance-guided DRed) ---------------------------------
 
 func (v *View) deleteBase(t data.Tuple) {
-	key := t.Key()
-	f := v.facts[key]
+	f := v.findFact(t, v.hasher.Hash(t)&testHashMask)
 	if f == nil || f.baseMult == 0 {
 		return
 	}
@@ -388,12 +437,12 @@ func (v *View) deleteBase(t data.Tuple) {
 	if f.baseMult > 0 {
 		return
 	}
-	v.dred(map[string]struct{}{key: {}}, t.TS)
+	v.dred(map[*fact]struct{}{f: {}}, t.TS)
 }
 
 func (v *View) deleteEdge(t data.Tuple) {
-	key := t.Key()
-	e := v.edges[key]
+	h := v.hasher.Hash(t) & testHashMask
+	e := v.findEdge(t, h)
 	if e == nil {
 		return
 	}
@@ -402,83 +451,97 @@ func (v *View) deleteEdge(t data.Tuple) {
 		return
 	}
 	// Remove the edge and every derivation that used it.
-	jk := e.t.KeyOn(v.eKeyIdx)
-	delete(v.eIdx[jk], key)
-	if len(v.eIdx[jk]) == 0 {
-		delete(v.eIdx, jk)
-	}
-	delete(v.edges, key)
-	suspects := map[string]struct{}{}
-	for ck := range v.childOfE[key] {
-		if cf := v.facts[ck]; cf != nil {
-			for d := range cf.derivs {
-				if d.eParent == key {
-					delete(cf.derivs, d)
-				}
+	removeFrom(v.eIdx, e.jkHash, e)
+	removeFrom(v.edges, e.hash, e)
+	e.live = false
+	suspects := map[*fact]struct{}{}
+	for cf := range e.children {
+		if !cf.live {
+			continue
+		}
+		for d := range cf.derivs {
+			if d.eParent == e {
+				delete(cf.derivs, d)
 			}
-			suspects[ck] = struct{}{}
+		}
+		suspects[cf] = struct{}{}
+	}
+	e.children = nil
+	v.dred(suspects, t.TS)
+}
+
+// removeFrom deletes x from the bucket at h, zeroing the vacated tail slot
+// so the backing array does not retain it, and dropping empty buckets.
+func removeFrom[T comparable](m map[uint64][]T, h uint64, x T) {
+	bucket := m[h]
+	for i, cand := range bucket {
+		if cand == x {
+			copy(bucket[i:], bucket[i+1:])
+			var zero T
+			bucket[len(bucket)-1] = zero
+			if len(bucket) == 1 {
+				delete(m, h)
+			} else {
+				m[h] = bucket[:len(bucket)-1]
+			}
+			return
 		}
 	}
-	delete(v.childOfE, key)
-	v.dred(suspects, t.TS)
 }
 
 // dred deletes the downward provenance closure of the seed facts, then
 // resurrects every suspect that retains a valid derivation (or base
 // support), emitting retractions only for tuples that are truly gone.
-func (v *View) dred(seeds map[string]struct{}, ts vtime.Time) {
+func (v *View) dred(seeds map[*fact]struct{}, ts vtime.Time) {
 	// Phase 1: overestimate — everything reachable from the seeds through
 	// provenance edges. Required for cyclic support: two tuples deriving
 	// each other must both fall, even though their derivation sets are
 	// non-empty.
-	suspect := map[string]struct{}{}
-	stack := make([]string, 0, len(seeds))
-	for k := range seeds {
-		if f := v.facts[k]; f != nil && f.baseMult == 0 {
+	suspect := map[*fact]struct{}{}
+	stack := make([]*fact, 0, len(seeds))
+	for f := range seeds {
+		if f.live && f.baseMult == 0 {
 			// Facts that still have base support stand on their own and do
 			// not fall; their subtree is safe too.
-			suspect[k] = struct{}{}
-			stack = append(stack, k)
+			suspect[f] = struct{}{}
+			stack = append(stack, f)
 		}
 	}
 	for len(stack) > 0 {
-		k := stack[len(stack)-1]
+		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for ck := range v.childOfV[k] {
-			if _, seen := suspect[ck]; seen {
+		for cf := range f.children {
+			if _, seen := suspect[cf]; seen {
 				continue
 			}
-			if cf := v.facts[ck]; cf != nil && cf.baseMult == 0 {
-				suspect[ck] = struct{}{}
-				stack = append(stack, ck)
+			if cf.live && cf.baseMult == 0 {
+				suspect[cf] = struct{}{}
+				stack = append(stack, cf)
 			}
 		}
 	}
 
 	// Phase 2: resurrect suspects with a surviving derivation, in rounds,
 	// since resurrecting one fact can re-validate derivations of another.
-	alive := func(k string) bool {
-		if _, isSuspect := suspect[k]; isSuspect {
+	alive := func(f *fact) bool {
+		if _, isSuspect := suspect[f]; isSuspect {
 			return false
 		}
-		_, ok := v.facts[k]
-		return ok
+		return f.live
 	}
 	changed := true
 	for changed {
 		changed = false
-		for k := range suspect {
-			f := v.facts[k]
+		for f := range suspect {
 			best := -1
 			for d := range f.derivs {
-				pf := v.facts[d.vParent]
-				if pf == nil || !alive(d.vParent) {
+				if d.vParent == nil || !alive(d.vParent) {
 					continue
 				}
-				if _, eAlive := v.edges[d.eParent]; !eAlive {
+				if d.eParent == nil || !d.eParent.live {
 					continue
 				}
-				nd := pf.depth + 1
+				nd := d.vParent.depth + 1
 				if v.cfg.MaxDepth > 0 && nd > v.cfg.MaxDepth {
 					continue
 				}
@@ -488,7 +551,7 @@ func (v *View) dred(seeds map[string]struct{}, ts vtime.Time) {
 			}
 			if best >= 0 {
 				f.depth = best
-				delete(suspect, k)
+				delete(suspect, f)
 				v.stats.TuplesTouched++
 				changed = true
 			}
@@ -496,29 +559,37 @@ func (v *View) dred(seeds map[string]struct{}, ts vtime.Time) {
 	}
 
 	// Phase 3: truly delete the rest.
-	for k := range suspect {
-		f := v.facts[k]
-		jk := f.t.KeyOn(v.vKeyIdx)
-		delete(v.vIdx[jk], k)
-		if len(v.vIdx[jk]) == 0 {
-			delete(v.vIdx, jk)
-		}
-		delete(v.facts, k)
+	for f := range suspect {
+		removeFrom(v.vIdx, f.jkHash, f)
+		removeFrom(v.facts, f.hash, f)
+		f.live = false
+		v.nFacts--
 		v.stats.TuplesTouched++
 		v.emit(f.t, data.Delete, ts)
 	}
-	// Purge dangling provenance references to the deleted facts.
-	for k := range suspect {
-		for ck := range v.childOfV[k] {
-			if cf := v.facts[ck]; cf != nil {
-				for d := range cf.derivs {
-					if d.vParent == k {
-						delete(cf.derivs, d)
-					}
+	// Purge dangling provenance references to the deleted facts, and
+	// unlink them from surviving parents so children sets stay bounded
+	// under fact churn.
+	for f := range suspect {
+		for d := range f.derivs {
+			if d.vParent != nil && d.vParent.live {
+				delete(d.vParent.children, f)
+			}
+			if d.eParent != nil && d.eParent.live {
+				delete(d.eParent.children, f)
+			}
+		}
+		for cf := range f.children {
+			if !cf.live {
+				continue
+			}
+			for d := range cf.derivs {
+				if d.vParent == f {
+					delete(cf.derivs, d)
 				}
 			}
 		}
-		delete(v.childOfV, k)
+		f.children = nil
 	}
 }
 
