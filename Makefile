@@ -19,8 +19,14 @@ fmt:
 check: build vet fmt test
 
 # bench runs the E1-E10 microbenchmarks with allocation stats, then
-# regenerates the experiment tables and writes them (plus the recorded seed
-# baselines) to BENCH_PR1.json.
+# regenerates the experiment tables (including the E7 shard sweep) and
+# writes them, plus the recorded seed/PR-1 baselines, to BENCH_PR2.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
-	$(GO) run ./cmd/benchharness -json BENCH_PR1.json
+	$(GO) run ./cmd/benchharness -json BENCH_PR2.json
+
+# race exercises the concurrent paths (shard workers, engine fan-out,
+# sensor epoch sinks) under the race detector; mirrored by the CI job.
+.PHONY: race
+race:
+	$(GO) test -race ./internal/stream/... ./internal/sensor/... ./internal/plan/... ./internal/core/...

@@ -24,6 +24,8 @@
 package aspen
 
 import (
+	"io"
+
 	"aspen/internal/building"
 	"aspen/internal/core"
 	"aspen/internal/data"
@@ -100,6 +102,9 @@ type (
 	Route = routing.Route
 	// GUIOptions controls text-GUI rendering.
 	GUIOptions = gui.Options
+	// Repainter coalesces live-result changes into one GUI render per
+	// paint cycle.
+	Repainter = gui.Repainter
 )
 
 // Value constructors.
@@ -156,6 +161,12 @@ func NewSmartCIS(opts SmartCISOptions) (*SmartCIS, error) { return smartcis.New(
 
 // RenderGUI draws one Figure 2-style frame of the deployment.
 func RenderGUI(app *SmartCIS, opts GUIOptions) string { return gui.Render(app, opts) }
+
+// NewRepainter builds a GUI repainter writing render() frames to out; wire
+// query results to it with Watch and call Paint once per epoch.
+func NewRepainter(out io.Writer, render func() string) *Repainter {
+	return gui.NewRepainter(out, render)
+}
 
 // StatusPanel formats the live plan panel shown beside the map.
 func StatusPanel(app *SmartCIS, queries map[string]string) []string {

@@ -11,6 +11,7 @@ import (
 	"aspen/internal/building"
 	"aspen/internal/catalog"
 	"aspen/internal/data"
+	"aspen/internal/experiments"
 	"aspen/internal/expr"
 	"aspen/internal/federation"
 	"aspen/internal/sensor"
@@ -285,6 +286,28 @@ func BenchmarkE7StreamThroughputBatch(b *testing.B) {
 		}
 		stream.PushBatch(wl, lb)
 		stream.PushBatch(wr, rb)
+	}
+}
+
+// BenchmarkE7StreamThroughputSharded is E7 through the partition-parallel
+// layer: P replicas of the window→join→agg pipeline behind Sharders keyed
+// on k, merged into one shared Materialize (the exact harness pipeline,
+// experiments.NewShardedE7). Tuples arrive in epochs of 64 via PushBatch
+// like the Batch variant; the serial comparison point is
+// BenchmarkE7StreamThroughputBatch. Throughput scales with cores (P=1
+// measures pure exchange overhead on any machine).
+func BenchmarkE7StreamThroughputSharded(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			e := experiments.NewShardedE7(10*time.Second, p)
+			defer e.Set.Close()
+			b.ResetTimer()
+			ts := vtime.Time(0)
+			for i := 0; i < b.N; i += 64 {
+				ts = e.FeedEpoch(i, ts)
+			}
+			e.Set.Flush()
+		})
 	}
 }
 

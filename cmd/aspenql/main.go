@@ -25,11 +25,13 @@ func main() {
 	runFor := flag.Duration("run", 3*time.Second, "virtual time to run before snapshotting")
 	planOnly := flag.Bool("plan", false, "show the federated plan without executing")
 	occupy := flag.String("occupy", "L101:1,L102:3", "comma-separated room:desk pairs to occupy")
+	par := flag.Int("par", 1, "shard deployed stream plans across this many pipeline replicas")
 	flag.Parse()
 
 	app, err := aspen.NewSmartCIS(aspen.SmartCISOptions{
 		Building:       aspen.BuildingConfig{Labs: *labs, DesksPerLab: 6, HallSpacing: 100, Offices: 2},
 		SkipPDUServers: false,
+		Parallelism:    *par,
 	})
 	if err != nil {
 		log.Fatal(err)

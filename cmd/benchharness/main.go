@@ -31,11 +31,24 @@ var seedBaselines = map[string]string{
 	"E9EndToEnd":          "335236 ns/op, 162985 B/op, 1078 allocs/op",
 }
 
+// pr1Baselines records the post-PR-1 numbers (allocation-free hot path,
+// from BENCH_PR1.json's era) that the PR-2 serial-regression criteria are
+// measured against; the sharded E7 sweep rides in the E7 table itself.
+var pr1Baselines = map[string]string{
+	"E7StreamThroughput":      "261 ns/op, 1 allocs/op",
+	"E7StreamThroughputBatch": "253 ns/op, 0 allocs/op",
+	"E2InNetworkJoin/opt":     "24049 ns/op, 26 allocs/op",
+	"E9EndToEnd":              "293379 ns/op, 977 allocs/op",
+}
+
 type report struct {
 	// SeedBaseline holds the pre-optimization microbenchmark numbers for
 	// the benchmarks the PR-1 acceptance criteria track.
-	SeedBaseline map[string]string   `json:"seed_baseline"`
-	Experiments  []experiments.Table `json:"experiments"`
+	SeedBaseline map[string]string `json:"seed_baseline"`
+	// PR1Baseline holds the post-PR-1 numbers that PR 2's serial paths
+	// must not regress against.
+	PR1Baseline map[string]string   `json:"pr1_baseline"`
+	Experiments []experiments.Table `json:"experiments"`
 }
 
 func main() {
@@ -60,7 +73,7 @@ func main() {
 	if len(want) == 0 {
 		want = order
 	}
-	rep := report{SeedBaseline: seedBaselines}
+	rep := report{SeedBaseline: seedBaselines, PR1Baseline: pr1Baselines}
 	for _, id := range want {
 		fn, ok := all[strings.ToUpper(id)]
 		if !ok {

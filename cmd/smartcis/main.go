@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"aspen"
@@ -43,6 +44,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The repainter coalesces query-result changes into one render per
+	// frame: materialized results invalidate it (once per delta batch),
+	// scene beats invalidate it explicitly, and an unchanged frame skips
+	// the render entirely.
+	var opts aspen.GUIOptions
+	repaint := aspen.NewRepainter(os.Stdout, func() string {
+		return aspen.RenderGUI(app, opts)
+	})
+	repaint.Watch(occ.Deployment.Result)
+	repaint.Watch(alarms.Deployment.Result)
+
 	// Scenario beats, one per frame.
 	beats := []struct {
 		desc string
@@ -63,6 +75,7 @@ func main() {
 	for f := 0; f < *frames; f++ {
 		if f < len(beats) {
 			beats[f].act()
+			repaint.Invalidate()
 		}
 		app.Sched.RunFor(2 * time.Second)
 
@@ -87,12 +100,14 @@ func main() {
 				len(arows), arows[0].Vals[0].AsString(), arows[0].Vals[2].AsFloat()))
 		}
 
-		opts := aspen.GUIOptions{Visitor: "visitor", Status: status}
+		opts = aspen.GUIOptions{Visitor: "visitor", Status: status}
 		if guide != nil {
 			opts.Route = &guide.Route
 		}
 		fmt.Printf("frame %d/%d (t=%s)\n", f+1, *frames, app.Sched.Now())
-		fmt.Print(aspen.RenderGUI(app, opts))
+		if !repaint.Paint() {
+			fmt.Println("(no query or scene change; frame skipped)")
+		}
 		fmt.Println()
 	}
 

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/vtime"
+)
+
+// newParallelRuntime assembles an all-stream runtime with the given plan
+// parallelism and one registered reading stream.
+func newParallelRuntime(t *testing.T, par int) (*Runtime, *vtime.Scheduler) {
+	t.Helper()
+	sched := vtime.NewScheduler()
+	rt := New(Config{Scheduler: sched, Parallelism: par})
+	t.Cleanup(rt.Close)
+	schema := data.NewSchema("Readings",
+		data.Col("room", data.TString), data.Col("value", data.TFloat))
+	schema.IsStream = true
+	if _, err := rt.RegisterStream("Readings", schema, 50); err != nil {
+		t.Fatal(err)
+	}
+	return rt, sched
+}
+
+// TestRuntimeParallelismShardsDeployedPlans runs the same windowed
+// aggregation serially and with Config.Parallelism, drives identical
+// batches through both engines (including tick-driven expiry), and
+// compares results.
+func TestRuntimeParallelismShardsDeployedPlans(t *testing.T) {
+	const src = `SELECT r.room, count(*) AS n FROM Readings r [RANGE 5 SECONDS]
+		GROUP BY r.room ORDER BY r.room`
+	feed := func(rt *Runtime, sched *vtime.Scheduler) {
+		in, ok := rt.Stream.Input("Readings")
+		if !ok {
+			t.Fatal("Readings input missing")
+		}
+		for i := 0; i < 40; i++ {
+			batch := make([]data.Tuple, 0, 8)
+			for k := 0; k < 8; k++ {
+				batch = append(batch, data.NewTuple(sched.Now(),
+					data.Str(fmt.Sprintf("L%d", (i+k)%6)), data.Float(float64(i+k))))
+			}
+			in.PushBatch(batch)
+			sched.RunFor(300 * time.Millisecond) // ticks expire the window mid-run
+		}
+	}
+
+	srt, ssched := newParallelRuntime(t, 0)
+	sq, err := srt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(srt, ssched)
+	want, err := sq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial reference is empty")
+	}
+
+	prt, psched := newParallelRuntime(t, 4)
+	pq, err := prt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Deployment.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", pq.Deployment.Shards)
+	}
+	feed(prt, psched)
+	got, err := pq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sharded rows %v, want %v", got, want)
+	}
+	for i := range want {
+		if !want[i].EqualVals(got[i]) {
+			t.Fatalf("row %d: sharded %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -40,6 +40,10 @@ type Config struct {
 	TickPeriod time.Duration
 	// RecursionDepth bounds WITH RECURSIVE evaluation (default 12).
 	RecursionDepth int
+	// Parallelism requests hash-partitioned parallel execution of deployed
+	// stream plans across this many pipeline replicas (default 1 =
+	// serial). Plans the shard analysis cannot partition run serial.
+	Parallelism int
 }
 
 // Runtime is one assembled ASPEN instance.
@@ -48,10 +52,11 @@ type Runtime struct {
 	Sched  *vtime.Scheduler
 	Stream *stream.Engine
 
-	fed        *federation.Federator
-	sensors    *sensor.Engine
-	recursion  int
-	tickCancel func()
+	fed         *federation.Federator
+	sensors     *sensor.Engine
+	recursion   int
+	parallelism int
+	tickCancel  func()
 }
 
 // New builds a runtime.
@@ -69,11 +74,12 @@ func New(cfg Config) *Runtime {
 		cfg.RecursionDepth = 12
 	}
 	rt := &Runtime{
-		Cat:       catalog.New(),
-		Sched:     cfg.Scheduler,
-		Stream:    stream.NewEngine(cfg.NodeName, cfg.Scheduler),
-		sensors:   cfg.SensorEngine,
-		recursion: cfg.RecursionDepth,
+		Cat:         catalog.New(),
+		Sched:       cfg.Scheduler,
+		Stream:      stream.NewEngine(cfg.NodeName, cfg.Scheduler),
+		sensors:     cfg.SensorEngine,
+		recursion:   cfg.RecursionDepth,
+		parallelism: cfg.Parallelism,
 	}
 	rt.fed = &federation.Federator{Cat: rt.Cat}
 	if cfg.SensorEngine != nil {
@@ -134,13 +140,18 @@ func (q *Query) Snapshot() ([]data.Tuple, error) {
 	return q.Deployment.Snapshot()
 }
 
-// Stop cancels the query's periodic sensor work. (Stream operator state is
+// Stop cancels the query's periodic sensor work and, for sharded
+// deployments, stops the shard workers — the materialized result keeps
+// its last state but no longer updates. (Serial stream operator state is
 // abandoned; inputs keep fanning out to other queries.)
 func (q *Query) Stop() {
 	for _, r := range q.runners {
 		r.Stop()
 	}
 	q.runners = nil
+	if q.Deployment != nil {
+		q.Deployment.Close()
+	}
 }
 
 // Run parses and deploys one StreamSQL statement.
@@ -177,13 +188,23 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 	if err != nil {
 		return nil, err
 	}
-	dep, err := plan.CompileStream(res.Chosen.StreamPlan, rt.Stream)
+	dep, err := plan.CompileStreamOpts(res.Chosen.StreamPlan, rt.Stream,
+		plan.CompileOptions{Parallelism: rt.parallelism})
 	if err != nil {
 		return nil, err
 	}
 	q := &Query{SQL: sqlText, Deployment: dep, Partition: res, rt: rt}
+	// A failure past this point must tear the deployment back down — Stop
+	// cancels the runners started so far and closes any shard workers, so
+	// a failed deploy leaks neither goroutines nor tick work.
+	fail := func(err error) (*Query, error) {
+		q.Stop()
+		return nil, err
+	}
 
-	// Start sensor fragments feeding their inputs.
+	// Start sensor fragments feeding their inputs, one batch per epoch: the
+	// engine dispatches (and a sharded plan exchanges) each epoch's
+	// deliveries in a single PushBatch instead of tuple-at-a-time.
 	for _, frag := range res.Chosen.Fragments {
 		in, ok := rt.Stream.Input(frag.DerivedName)
 		if !ok {
@@ -192,21 +213,21 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 			var err error
 			in, err = rt.Stream.Register(frag.DerivedName, frag.Schema)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
-		sink := func(t data.Tuple) { in.Push(t) }
+		sink := func(ts []data.Tuple) { in.PushBatch(ts) }
 		switch frag.Kind {
 		case federation.FragSelect, federation.FragShipAll:
-			q.runners = append(q.runners, rt.sensors.StartSelect(frag.Select, rt.Sched, sink))
+			q.runners = append(q.runners, rt.sensors.StartSelectBatch(frag.Select, rt.Sched, sink))
 		case federation.FragJoin:
 			st, err := rt.sensors.PlanJoin(frag.Join)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
-			q.runners = append(q.runners, rt.sensors.StartJoin(st, rt.Sched, sink))
+			q.runners = append(q.runners, rt.sensors.StartJoinBatch(st, rt.Sched, sink))
 		case federation.FragAggregate:
-			q.runners = append(q.runners, rt.sensors.StartAggregate(frag.Agg, rt.Sched, sink))
+			q.runners = append(q.runners, rt.sensors.StartAggregateBatch(frag.Agg, rt.Sched, sink))
 		}
 	}
 	rt.loadTables(dep)

@@ -368,8 +368,113 @@ func E7StreamThroughput() Table {
 			elapsed.Truncate(time.Microsecond).String(),
 			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds())})
 	}
-	t.Notes = "larger windows hold more join state, so each arrival probes and expires more"
+	// Shard sweep (PR 2): the same 10s-window pipeline behind the
+	// partition-parallel exchange, P pipeline replicas keyed on k.
+	for _, p := range []int{1, 2, 4, 8} {
+		const n = 30000
+		elapsed := runShardedJoinPipeline(10*time.Second, n, p)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("10s/P=%d", p), d(n),
+			elapsed.Truncate(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds())})
+	}
+	t.Notes = "larger windows hold more join state, so each arrival probes and expires more; " +
+		"P rows shard the pipeline across worker replicas (speedup needs multiple cores)"
 	return t
+}
+
+// ShardedE7 is the standard two-stream join+agg pipeline (E7) built
+// behind the partition-parallel exchange: P replicas of
+// window→join→aggregate keyed on k, merged into one materialized result.
+// Exported so the repo benchmarks drive the exact harness pipeline.
+type ShardedE7 struct {
+	Left, Right *stream.Sharder
+	Set         *stream.ShardSet
+	Mat         *stream.Materialize
+}
+
+// NewShardedE7 builds and starts the pipeline; callers Close the Set.
+func NewShardedE7(win time.Duration, p int) *ShardedE7 {
+	left := data.NewSchema("a", data.Col("k", data.TInt), data.Col("v", data.TFloat))
+	left.IsStream = true
+	right := data.NewSchema("b", data.Col("k", data.TInt), data.Col("w", data.TFloat))
+	right.IsStream = true
+	joined := left.Concat(right)
+	specs := []stream.AggSpec{{Kind: stream.AggAvg, Arg: expr.C("v"), Alias: "m"}}
+	outSchema, err := stream.AggOutSchema(joined, []string{"a.k"}, specs)
+	if err != nil {
+		panic(err)
+	}
+	mat := stream.NewMaterialize(outSchema)
+	merge := stream.NewMerge(mat)
+	set := stream.NewShardSet(p)
+	lheads := make([]stream.Operator, p)
+	rheads := make([]stream.Operator, p)
+	for s := 0; s < p; s++ {
+		agg, err := stream.NewAggregate(merge, joined, []string{"a.k"}, specs, nil)
+		if err != nil {
+			panic(err)
+		}
+		j, err := stream.NewJoin(agg, left, right, []string{"a.k"}, []string{"b.k"}, nil)
+		if err != nil {
+			panic(err)
+		}
+		wl := stream.NewTimeWindow(j.Left(), win, 0)
+		wr := stream.NewTimeWindow(j.Right(), win, 0)
+		set.Track(s, wl)
+		set.Track(s, wr)
+		lheads[s], rheads[s] = wl, wr
+	}
+	lsh, err := stream.NewSharder(set, lheads, []int{0})
+	if err != nil {
+		panic(err)
+	}
+	rsh, err := stream.NewSharder(set, rheads, []int{0})
+	if err != nil {
+		panic(err)
+	}
+	set.Start()
+	return &ShardedE7{Left: lsh, Right: rsh, Set: set, Mat: mat}
+}
+
+// FeedEpoch pushes one 64-tuple epoch (split between the two inputs) with
+// keys i..i+63 mod 64 and timestamps advancing 50ms per tuple from ts,
+// returning the advanced clock. One fresh backing array per epoch:
+// windows retain pushed tuples, so the source must not reuse Vals.
+func (e *ShardedE7) FeedEpoch(i int, ts vtime.Time) vtime.Time {
+	const epoch = 64
+	var lb, rb [epoch / 2]data.Tuple
+	ln, rn := 0, 0
+	vals := make([]data.Value, 2*epoch)
+	for k := 0; k < epoch; k++ {
+		ts += vtime.Time(50 * time.Millisecond)
+		v := vals[2*k : 2*k+2 : 2*k+2]
+		v[0] = data.Int(int64((i + k) % 64))
+		v[1] = data.Float(float64(i + k))
+		t := data.Tuple{Vals: v, TS: ts}
+		if k%2 == 0 {
+			lb[ln] = t
+			ln++
+		} else {
+			rb[rn] = t
+			rn++
+		}
+	}
+	e.Left.PushBatch(lb[:ln])
+	e.Right.PushBatch(rb[:rn])
+	return ts
+}
+
+// runShardedJoinPipeline drives n tuples through a ShardedE7 and times it.
+func runShardedJoinPipeline(win time.Duration, n, p int) time.Duration {
+	e := NewShardedE7(win, p)
+	defer e.Set.Close()
+	start := time.Now()
+	ts := vtime.Time(0)
+	for i := 0; i < n; i += 64 {
+		ts = e.FeedEpoch(i, ts)
+	}
+	e.Set.Flush()
+	return time.Since(start)
 }
 
 // runJoinPipeline drives the standard two-stream join+agg pipeline.

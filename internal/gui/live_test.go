@@ -1,0 +1,61 @@
+package gui
+
+import (
+	"strings"
+	"testing"
+
+	"aspen/internal/data"
+	"aspen/internal/stream"
+)
+
+// TestRepainterCoalescesChanges checks that a burst of materialize
+// mutations costs one render, unchanged cycles render nothing, and the
+// chained OnChange hook keeps firing.
+func TestRepainterCoalescesChanges(t *testing.T) {
+	schema := data.NewSchema("d", data.Col("room", data.TString))
+	m := stream.NewMaterialize(schema)
+	chained := 0
+	m.OnChange = func() { chained++ }
+
+	var out strings.Builder
+	frames := 0
+	r := NewRepainter(&out, func() string {
+		frames++
+		return "frame\n"
+	})
+	r.Watch(m)
+
+	if r.Paint() {
+		t.Fatal("painted with nothing dirty")
+	}
+
+	// A whole epoch's worth of deltas: one batch, one repaint.
+	batch := make([]data.Tuple, 0, 8)
+	for i := 0; i < 8; i++ {
+		batch = append(batch, data.NewTuple(1, data.Str("L101")))
+	}
+	m.PushBatch(batch)
+	if !r.Paint() {
+		t.Fatal("no paint after changes")
+	}
+	if frames != 1 {
+		t.Fatalf("rendered %d frames for one epoch, want 1", frames)
+	}
+	if chained == 0 {
+		t.Fatal("pre-existing OnChange hook was dropped")
+	}
+	if r.Paint() {
+		t.Fatal("painted again without new changes")
+	}
+	if got := r.Paints(); got != 1 {
+		t.Fatalf("Paints() = %d, want 1", got)
+	}
+	if out.String() != "frame\n" {
+		t.Fatalf("out = %q", out.String())
+	}
+
+	m.Push(data.NewTuple(2, data.Str("L102")))
+	if !r.Paint() || r.Paints() != 2 {
+		t.Fatalf("second change did not repaint (paints=%d)", r.Paints())
+	}
+}

@@ -37,48 +37,202 @@ type Deployment struct {
 	Inputs []string
 	// TableHeads lists table-scan entry points awaiting initial loads.
 	TableHeads []TableHead
+	// Shards is the partition-parallel width the plan deployed with
+	// (1 = serial execution).
+	Shards int
+
+	set *stream.ShardSet
+}
+
+// Flush blocks until every tuple pushed so far has been fully processed.
+// Serial deployments process synchronously, so it only acts on sharded
+// ones, where it barriers the shard workers.
+func (d *Deployment) Flush() {
+	if d.set != nil {
+		d.set.Flush()
+	}
 }
 
 // Snapshot returns the current result rows under the query's ORDER BY and
-// LIMIT.
+// LIMIT, after flushing any in-flight sharded work.
 func (d *Deployment) Snapshot() ([]data.Tuple, error) {
+	d.Flush()
 	return d.Result.Snapshot(d.OrderBy, d.Limit)
 }
 
-// CompileStream lowers a logical plan onto a stream engine: it builds the
-// operator pipeline bottom-up, registers/validates the engine inputs the
-// scans need, and subscribes the pipeline to them. When the plan names a
-// display (OUTPUT TO), the result also feeds the engine's display.
-func CompileStream(b *Built, eng *stream.Engine) (*Deployment, error) {
-	mat := stream.NewMaterialize(b.Root.Schema())
-	dep := &Deployment{Result: mat, OrderBy: b.OrderBy, Limit: b.Limit}
-
-	var sink stream.Operator = mat
-	if b.Display != "" {
-		disp := eng.Display(b.Display, b.Root.Schema())
-		sink = stream.NewTee(mat, disp)
+// Close stops the deployment's shard workers, if any. Safe on a live
+// engine: later pushes into the deployment's inputs and later clock ticks
+// are dropped at the exchange, so the result simply stops updating. The
+// set pointer stays in place — Close and Flush are idempotent and
+// closed-safe — so a concurrent Snapshot never races a teardown.
+func (d *Deployment) Close() {
+	if d.set != nil {
+		d.set.Close()
 	}
-	if err := compileNode(b.Root, sink, eng, dep); err != nil {
+}
+
+// CompileOptions tunes CompileStreamOpts.
+type CompileOptions struct {
+	// Parallelism requests hash-partitioned parallel execution across this
+	// many pipeline replicas. Values < 2 compile serial; plans the shard
+	// analysis cannot prove partitionable (see shard.go) fall back to
+	// serial compilation silently — check Deployment.Shards.
+	Parallelism int
+}
+
+// CompileStream lowers a logical plan onto a stream engine serially; see
+// CompileStreamOpts.
+func CompileStream(b *Built, eng *stream.Engine) (*Deployment, error) {
+	return CompileStreamOpts(b, eng, CompileOptions{})
+}
+
+// CompileStreamOpts lowers a logical plan onto a stream engine: it builds
+// the operator pipeline bottom-up, registers/validates the engine inputs
+// the scans need, and subscribes the pipeline to them. When the plan names
+// a display (OUTPUT TO), the result also feeds the engine's display. With
+// Parallelism > 1 and a partitionable plan, the pipeline is replicated per
+// shard behind Sharder exchanges and folded back through a Merge.
+func CompileStreamOpts(b *Built, eng *stream.Engine, opts CompileOptions) (*Deployment, error) {
+	if opts.Parallelism > 1 {
+		if keys, ok := shardableKeys(b.Root); ok {
+			return compileSharded(b, eng, opts.Parallelism, keys)
+		}
+	}
+	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: 1}
+	sink := newDeploymentSink(b, eng, dep)
+	c := &compiler{
+		track: eng.TrackWindow,
+		scanHead: func(x *Scan, head stream.Operator) error {
+			return attachScan(x, head, eng, dep)
+		},
+	}
+	if err := c.compile(b.Root, sink); err != nil {
 		return nil, err
 	}
 	return dep, nil
 }
 
-func compileNode(n Node, out stream.Operator, eng *stream.Engine, dep *Deployment) error {
+// newDeploymentSink builds the shared result sink: the materialized result,
+// teed into the engine display when the plan names one.
+func newDeploymentSink(b *Built, eng *stream.Engine, dep *Deployment) stream.Operator {
+	mat := stream.NewMaterialize(b.Root.Schema())
+	dep.Result = mat
+	var sink stream.Operator = mat
+	if b.Display != "" {
+		disp := eng.Display(b.Display, b.Root.Schema())
+		sink = stream.NewTee(mat, disp)
+	}
+	return sink
+}
+
+// resolveScanInput registers (or validates) the engine input behind a
+// scan without subscribing anything.
+func resolveScanInput(x *Scan, eng *stream.Engine) (*stream.Input, error) {
+	in, ok := eng.Input(x.Input)
+	if !ok {
+		var err error
+		in, err = eng.Register(x.Input, x.Schema())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if in.Schema().Arity() != x.Schema().Arity() {
+		return nil, fmt.Errorf("plan: input %s arity %d does not match scan %s",
+			x.Input, in.Schema().Arity(), x.Schema())
+	}
+	return in, nil
+}
+
+// attachScan wires a finished pipeline head to its scan's engine input and
+// records it on the deployment.
+func attachScan(x *Scan, head stream.Operator, eng *stream.Engine, dep *Deployment) error {
+	in, err := resolveScanInput(x, eng)
+	if err != nil {
+		return err
+	}
+	in.Subscribe(head)
+	dep.Inputs = append(dep.Inputs, x.Input)
+	if x.IsTable {
+		dep.TableHeads = append(dep.TableHeads, TableHead{Input: x.Input, Head: head})
+	}
+	return nil
+}
+
+// compileSharded deploys P pipeline replicas: each scan feeds a Sharder
+// that hash-partitions its input on the analysis-chosen key columns, every
+// replica's windows are clock-ticked by the shard set in-order with that
+// shard's data, and all replicas emit into one Merge-guarded sink.
+func compileSharded(b *Built, eng *stream.Engine, p int, keys map[*Scan][]string) (*Deployment, error) {
+	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: p}
+	merge := stream.NewMerge(newDeploymentSink(b, eng, dep))
+	set := stream.NewShardSet(p)
+	heads := map[*Scan][]stream.Operator{}
+	for j := 0; j < p; j++ {
+		shard := j
+		c := &compiler{
+			track: func(a stream.Advancer) { set.Track(shard, a) },
+			scanHead: func(x *Scan, head stream.Operator) error {
+				heads[x] = append(heads[x], head)
+				return nil
+			},
+		}
+		if err := c.compile(b.Root, merge); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve every input and build every exchange before wiring anything
+	// into the live engine: a failure on the second scan must not leave
+	// the first scan's Sharder subscribed and feeding a dead set.
+	type wiring struct {
+		scan *Scan
+		in   *stream.Input
+		sh   *stream.Sharder
+	}
+	var ws []wiring
+	for _, scan := range Scans(b.Root) {
+		var keyIdx []int
+		for _, k := range keys[scan] {
+			i, err := scan.Schema().ColIndex(k)
+			if err != nil {
+				return nil, fmt.Errorf("plan: shard key %s: %w", k, err)
+			}
+			keyIdx = append(keyIdx, i)
+		}
+		sh, err := stream.NewSharder(set, heads[scan], keyIdx)
+		if err != nil {
+			return nil, err
+		}
+		in, err := resolveScanInput(scan, eng)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, wiring{scan: scan, in: in, sh: sh})
+	}
+	// Nothing can fail past here: start the workers, then open the taps.
+	set.Start()
+	eng.TrackWindow(set)
+	dep.set = set
+	for _, w := range ws {
+		w.in.Subscribe(w.sh)
+		dep.Inputs = append(dep.Inputs, w.scan.Input)
+		if w.scan.IsTable {
+			dep.TableHeads = append(dep.TableHeads, TableHead{Input: w.scan.Input, Head: w.sh})
+		}
+	}
+	return dep, nil
+}
+
+// compiler carries the deployment context of one pipeline replica: who
+// receives clock ticks, and what to do with a finished scan head
+// (subscribe it directly, or hand it to a Sharder).
+type compiler struct {
+	track    func(stream.Advancer)
+	scanHead func(*Scan, stream.Operator) error
+}
+
+func (c *compiler) compile(n Node, out stream.Operator) error {
 	switch x := n.(type) {
 	case *Scan:
-		in, ok := eng.Input(x.Input)
-		if !ok {
-			var err error
-			in, err = eng.Register(x.Input, x.Schema())
-			if err != nil {
-				return err
-			}
-		}
-		if in.Schema().Arity() != x.Schema().Arity() {
-			return fmt.Errorf("plan: input %s arity %d does not match scan %s",
-				x.Input, in.Schema().Arity(), x.Schema())
-		}
 		head := out
 		if !x.IsTable {
 			w := windowFor(x.Window)
@@ -87,50 +241,45 @@ func compileNode(n Node, out stream.Operator, eng *stream.Engine, dep *Deploymen
 				// unwindowed stream: tuples accumulate (append-only source)
 			default:
 				win := buildWindow(w, out)
-				eng.TrackWindow(win)
+				c.track(win)
 				head = win
 			}
 		}
-		in.Subscribe(head)
-		dep.Inputs = append(dep.Inputs, x.Input)
-		if x.IsTable {
-			dep.TableHeads = append(dep.TableHeads, TableHead{Input: x.Input, Head: head})
-		}
-		return nil
+		return c.scanHead(x, head)
 
 	case *Select:
 		pred, err := expr.Bind(x.Pred, x.In.Schema())
 		if err != nil {
 			return err
 		}
-		return compileNode(x.In, stream.NewFilter(out, pred), eng, dep)
+		return c.compile(x.In, stream.NewFilter(out, pred))
 
 	case *Project:
 		p, err := stream.NewProject(out, x.In.Schema(), x.Items)
 		if err != nil {
 			return err
 		}
-		return compileNode(x.In, p, eng, dep)
+		return c.compile(x.In, p)
 
 	case *Join:
 		j, err := stream.NewJoin(out, x.L.Schema(), x.R.Schema(), x.LKey, x.RKey, x.Residual)
 		if err != nil {
 			return err
 		}
-		if err := compileNode(x.L, j.Left(), eng, dep); err != nil {
+		if err := c.compile(x.L, j.Left()); err != nil {
 			return err
 		}
-		return compileNode(x.R, j.Right(), eng, dep)
+		return c.compile(x.R, j.Right())
 
 	case *Aggregate:
 		a, err := stream.NewAggregate(out, x.In.Schema(), x.GroupBy, x.Specs, x.Having)
 		if err != nil {
 			return err
 		}
-		return compileNode(x.In, a, eng, dep)
+		return c.compile(x.In, a)
 
 	case *Distinct:
-		return compileNode(x.In, stream.NewDistinct(out), eng, dep)
+		return c.compile(x.In, stream.NewDistinct(out))
 	}
 	return fmt.Errorf("plan: cannot compile %T", n)
 }

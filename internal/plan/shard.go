@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"aspen/internal/expr"
+	"aspen/internal/sql"
+)
+
+// This file decides whether a logical plan can execute partition-parallel
+// (stream.Sharder / stream.ShardSet) and, if so, which columns each scan
+// must hash-partition its input on so that every stateful operator's state
+// partitions cleanly: all tuples of one group, one join key, or one
+// distinct value land in the same pipeline replica.
+//
+// The analysis runs top-down. impose(n, keys, exact) establishes the
+// invariant that subtree n's output tuples route to shard
+// hash(partition key) % P where the partition key is:
+//
+//   - exact:  precisely the values of keys, in order — required below a
+//     join, whose two sides must agree bit-for-bit on the shard of
+//     matching tuples (data.Hasher's canonical encoding makes equal
+//     values hash equal across schemas);
+//   - !exact: any non-empty, order-preserved subsequence of keys — enough
+//     for single-input state (groups, distinct), which only needs the
+//     shard to be a function of the key.
+//
+// Plans the analysis cannot prove partitionable — global aggregates, ROWS
+// windows (a global last-n), cross joins, keys hidden behind computed
+// projections — fall back to serial execution.
+
+// shardableKeys returns, for each scan, the partition key columns (nil =
+// all columns) when the plan can execute partition-parallel.
+func shardableKeys(root Node) (map[*Scan][]string, bool) {
+	out := map[*Scan][]string{}
+	if !impose(root, nil, false, out) {
+		return nil, false
+	}
+	return out, true
+}
+
+// impose establishes the partition invariant for subtree n; keys == nil
+// means no requirement has been set yet (the first stateful operator
+// below picks its own). It records each scan's partition columns in out.
+func impose(n Node, keys []string, exact bool, out map[*Scan][]string) bool {
+	switch x := n.(type) {
+	case *Scan:
+		// A ROWS window is a global last-n: its contents depend on total
+		// arrival order, which no partitioning preserves.
+		if x.Window != nil && x.Window.Kind == sql.WindowRows {
+			return false
+		}
+		for _, k := range keys {
+			if !x.Schema().HasCol(k) {
+				return false
+			}
+		}
+		out[x] = keys
+		return true
+
+	case *Select:
+		return impose(x.In, keys, exact, out)
+
+	case *Project:
+		if keys == nil {
+			return impose(x.In, nil, exact, out)
+		}
+		// Map each key through the projection; only bare column references
+		// preserve the value (and therefore the hash) across the operator.
+		mapped := make([]string, 0, len(keys))
+		for _, k := range keys {
+			j, err := x.Schema().ColIndex(k)
+			if err != nil {
+				return false
+			}
+			col, ok := x.Items[j].Expr.(expr.Col)
+			if !ok {
+				if exact {
+					return false
+				}
+				continue // computed column: drop from the loose key
+			}
+			mapped = append(mapped, col.Ref)
+		}
+		if len(mapped) == 0 {
+			return false
+		}
+		return impose(x.In, mapped, exact, out)
+
+	case *Distinct:
+		if keys == nil {
+			// Set semantics only need equal tuples co-located: partition on
+			// (any subsequence of) the full row.
+			keys = make([]string, x.Schema().Arity())
+			for i, c := range x.Schema().Cols {
+				keys[i] = c.QName()
+			}
+			exact = false
+		}
+		return impose(x.In, keys, exact, out)
+
+	case *Aggregate:
+		if len(x.GroupBy) == 0 {
+			// A global aggregate would need a partial-merge stage; not yet.
+			return false
+		}
+		if keys == nil {
+			return impose(x.In, x.GroupBy, false, out)
+		}
+		// Keys map positionally: AggOutSchema lays out group columns first,
+		// in GroupBy order, then aggregate columns.
+		sub := make([]string, 0, len(keys))
+		for _, k := range keys {
+			j, err := x.Schema().ColIndex(k)
+			if err != nil || j >= len(x.GroupBy) {
+				if exact {
+					return false // key is an aggregate value, not a group column
+				}
+				continue
+			}
+			sub = append(sub, x.GroupBy[j])
+		}
+		if len(sub) == 0 {
+			return false
+		}
+		// sub ⊆ GroupBy keeps every group in one shard; under an exact
+		// requirement nothing was dropped, so values match keys in order.
+		return impose(x.In, sub, exact, out)
+
+	case *Join:
+		if len(x.LKey) == 0 {
+			return false // cross / residual-only join has no partition key
+		}
+		larity := x.L.Schema().Arity()
+		pairOf := func(ref string) int {
+			j, err := x.Schema().ColIndex(ref)
+			if err != nil {
+				return -1
+			}
+			for i := range x.LKey {
+				if li, err := x.L.Schema().ColIndex(x.LKey[i]); err == nil && li == j {
+					return i
+				}
+				if ri, err := x.R.Schema().ColIndex(x.RKey[i]); err == nil && larity+ri == j {
+					return i
+				}
+			}
+			return -1
+		}
+		var pairs []int
+		if keys == nil {
+			pairs = make([]int, len(x.LKey))
+			for i := range pairs {
+				pairs[i] = i
+			}
+		} else {
+			for _, k := range keys {
+				i := pairOf(k)
+				if i < 0 {
+					if exact {
+						return false
+					}
+					continue
+				}
+				pairs = append(pairs, i)
+			}
+			if len(pairs) == 0 {
+				return false
+			}
+		}
+		lsub := make([]string, len(pairs))
+		rsub := make([]string, len(pairs))
+		for i, p := range pairs {
+			lsub[i] = x.LKey[p]
+			rsub[i] = x.RKey[p]
+		}
+		// Both sides must shard on exactly the aligned key columns so that
+		// join partners (equal key values) meet in one replica.
+		return impose(x.L, lsub, true, out) && impose(x.R, rsub, true, out)
+	}
+	return false
+}

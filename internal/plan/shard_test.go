@@ -1,0 +1,185 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/stream"
+	"aspen/internal/vtime"
+)
+
+// deployStream compiles src onto a fresh engine with the given
+// parallelism and returns the deployment plus the engine.
+func deployStream(t *testing.T, src string, par int) (*Deployment, *stream.Engine) {
+	t.Helper()
+	b := mustBuild(t, src, testCatalog())
+	eng := stream.NewEngine(fmt.Sprintf("pc-par%d", par), vtime.NewScheduler())
+	dep, err := CompileStreamOpts(b, eng, CompileOptions{Parallelism: par})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep, eng
+}
+
+// feedOccupancy pushes a deterministic seat/area workload, including
+// retractions and a window-expiry tick, into the engine.
+func feedOccupancy(t *testing.T, eng *stream.Engine) {
+	t.Helper()
+	seat, ok := eng.Input("SeatSensors")
+	if !ok {
+		t.Fatal("SeatSensors input missing")
+	}
+	area, ok := eng.Input("AreaSensors")
+	if !ok {
+		t.Fatal("AreaSensors input missing")
+	}
+	ts := vtime.Time(0)
+	for i := 0; i < 200; i++ {
+		ts += vtime.Time(100 * time.Millisecond)
+		room := fmt.Sprintf("L%d", 101+i%5)
+		area.Push(data.NewTuple(ts, data.Str(room), data.Str("open")))
+		seat.Push(data.NewTuple(ts, data.Str(room), data.Int(int64(i%3)), data.Str("free")))
+		if i%7 == 0 {
+			seat.Push(data.NewTuple(ts, data.Str(room), data.Int(int64(i%3)), data.Str("free")).Negate())
+		}
+	}
+	eng.Advance(ts + vtime.Time(3*time.Second))
+}
+
+// TestCompileStreamParallelEquivalence deploys the same windowed
+// join+aggregate query serially and sharded, drives both with an
+// identical workload, and requires identical results.
+func TestCompileStreamParallelEquivalence(t *testing.T) {
+	const src = `SELECT ss.room, count(*) AS n
+		FROM SeatSensors ss [RANGE 5 SECONDS], AreaSensors sa [RANGE 5 SECONDS]
+		WHERE sa.room = ss.room ^ sa.status = 'open'
+		GROUP BY ss.room ORDER BY ss.room`
+
+	serial, sEng := deployStream(t, src, 0)
+	if serial.Shards != 1 {
+		t.Fatalf("serial deployment reports %d shards", serial.Shards)
+	}
+	feedOccupancy(t, sEng)
+	want, err := serial.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial reference is empty; workload is vacuous")
+	}
+
+	for _, p := range []int{2, 4} {
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			dep, eng := deployStream(t, src, p)
+			if dep.Shards != p {
+				t.Fatalf("deployment did not shard: Shards = %d, want %d", dep.Shards, p)
+			}
+			feedOccupancy(t, eng)
+			got, err := dep.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dep.Close()
+			if len(got) != len(want) {
+				t.Fatalf("sharded rows %v, want %v", got, want)
+			}
+			for i := range want {
+				if !want[i].EqualVals(got[i]) {
+					t.Fatalf("row %d: sharded %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCompileStreamParallelTableLoad shards a stream⋈table join and loads
+// the table through the deployment's TableHeads (now Sharder-fronted), as
+// core's deployer does.
+func TestCompileStreamParallelTableLoad(t *testing.T) {
+	const src = `SELECT m.room, m.desk FROM Machines m, SeatSensors ss [RANGE 10 SECONDS]
+		WHERE m.room = ss.room ^ m.desk = ss.desk`
+	dep, eng := deployStream(t, src, 4)
+	if dep.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", dep.Shards)
+	}
+	if len(dep.TableHeads) != 1 || dep.TableHeads[0].Input != "Machines" {
+		t.Fatalf("TableHeads = %+v", dep.TableHeads)
+	}
+	cat := testCatalog()
+	src2, _ := cat.Source("Machines")
+	var rows []data.Tuple
+	src2.Table.Scan(func(tu data.Tuple) bool {
+		tu.TS = 1
+		rows = append(rows, tu)
+		return true
+	})
+	dep.TableHeads[0].Load(rows)
+
+	seat, _ := eng.Input("SeatSensors")
+	seat.Push(data.NewTuple(2, data.Str("L101"), data.Int(1), data.Str("free")))
+	seat.Push(data.NewTuple(2, data.Str("L102"), data.Int(1), data.Str("free")))
+	seat.Push(data.NewTuple(2, data.Str("L999"), data.Int(9), data.Str("free"))) // no machine
+
+	got, err := dep.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Close()
+	if len(got) != 2 {
+		t.Fatalf("joined rows = %v", got)
+	}
+}
+
+// TestCompileStreamParallelFallback lists plans the shard analysis must
+// refuse — global aggregates, ROWS windows, cross joins, keys hidden
+// behind computed projections — and checks they deploy serially (and
+// still run) even when parallelism was requested.
+func TestCompileStreamParallelFallback(t *testing.T) {
+	cases := map[string]string{
+		"global-aggregate": `SELECT count(*) AS n FROM SeatSensors ss [RANGE 2 SECONDS]`,
+		"rows-window":      `SELECT ss.room, count(*) AS n FROM SeatSensors ss [ROWS 2] GROUP BY ss.room`,
+		"cross-join":       `SELECT ss.room FROM SeatSensors ss [NOW], AreaSensors sa [NOW]`,
+		"computed-distinct": `SELECT DISTINCT ss.desk + 1 AS d
+			FROM SeatSensors ss [RANGE 2 SECONDS]`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			dep, eng := deployStream(t, src, 4)
+			if dep.Shards != 1 {
+				t.Fatalf("%s sharded (%d) but must fall back serial", name, dep.Shards)
+			}
+			seat, _ := eng.Input("SeatSensors")
+			seat.Push(data.NewTuple(1, data.Str("L101"), data.Int(1), data.Str("free")))
+			if _, err := dep.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardableKeysSelection verifies the analysis picks the join/group
+// columns for each scan on a plain equi-join plan.
+func TestShardableKeysSelection(t *testing.T) {
+	b := mustBuild(t, `SELECT ss.room, count(*) AS n
+		FROM SeatSensors ss [RANGE 5 SECONDS], AreaSensors sa [RANGE 5 SECONDS]
+		WHERE sa.room = ss.room GROUP BY ss.room`, testCatalog())
+	keys, ok := shardableKeys(b.Root)
+	if !ok {
+		t.Fatal("plan must be shardable")
+	}
+	scans := Scans(b.Root)
+	if len(scans) != 2 {
+		t.Fatalf("scans = %v", scans)
+	}
+	for _, s := range scans {
+		ks := keys[s]
+		if len(ks) != 1 {
+			t.Fatalf("scan %s keys = %v, want exactly the join/group column", s, ks)
+		}
+		if i, err := s.Schema().ColIndex(ks[0]); err != nil || s.Schema().Cols[i].Name != "room" {
+			t.Fatalf("scan %s partitions on %v, want its room column", s, ks)
+		}
+	}
+}

@@ -275,3 +275,11 @@ func (e *Engine) StartAggregate(q *AggregateQuery, sched *vtime.Scheduler, sink 
 	})
 	return &handle{stop: stop}
 }
+
+// StartAggregateBatch is StartAggregate delivering each epoch's group rows
+// as one batch instead of tuple-at-a-time.
+func (e *Engine) StartAggregateBatch(q *AggregateQuery, sched *vtime.Scheduler, sink BatchSink) Runner {
+	return startEpochRunner(sched, q.Period, sink, func(now vtime.Time, deliver Sink) {
+		e.RunAggregateEpoch(q, now, deliver)
+	})
+}

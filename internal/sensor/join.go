@@ -312,6 +312,14 @@ func (e *Engine) StartJoin(st *JoinState, sched *vtime.Scheduler, sink Sink) Run
 	return &handle{stop: stop}
 }
 
+// StartJoinBatch is StartJoin delivering each epoch's joined tuples as one
+// batch instead of tuple-at-a-time.
+func (e *Engine) StartJoinBatch(st *JoinState, sched *vtime.Scheduler, sink BatchSink) Runner {
+	return startEpochRunner(sched, st.q.Period, sink, func(now vtime.Time, deliver Sink) {
+		e.RunJoinEpoch(st, now, deliver)
+	})
+}
+
 // String renders the query for plan displays.
 func (q *JoinQuery) String() string {
 	return fmt.Sprintf("in-network join %s(%s) ⋈ %s(%s) [%s]",

@@ -57,6 +57,46 @@ func (f EnvFunc) Reading(n sensornet.Node, kind sensornet.SensorKind, now vtime.
 // engine clones per delivery rather than sharing its sampling buffers.
 type Sink func(data.Tuple)
 
+// BatchSink receives one epoch's deliveries as a single batch. The tuples
+// are owned by the receiver like Sink deliveries; the slice itself is only
+// valid during the call (the scheduler reuses it across epochs), matching
+// the stream.BatchOperator contract.
+type BatchSink func(ts []data.Tuple)
+
+// epochBatch adapts a BatchSink to the per-tuple epoch runners: collect
+// reuses one buffer across epochs, flush delivers the epoch's tuples as
+// one batch and releases the references.
+type epochBatch struct {
+	sink BatchSink
+	buf  []data.Tuple
+}
+
+func (b *epochBatch) collect(t data.Tuple) { b.buf = append(b.buf, t) }
+
+func (b *epochBatch) flush() {
+	if len(b.buf) == 0 {
+		return
+	}
+	b.sink(b.buf)
+	clear(b.buf) // receiver owns the tuples now; drop our references
+	b.buf = b.buf[:0]
+}
+
+// startEpochRunner schedules run every period (default 1s), collecting
+// each epoch's deliveries and flushing them to sink as one batch — the
+// shared engine behind the Start*Batch runners.
+func startEpochRunner(sched *vtime.Scheduler, period time.Duration, sink BatchSink, run func(now vtime.Time, deliver Sink)) Runner {
+	if period <= 0 {
+		period = time.Second
+	}
+	b := &epochBatch{sink: sink}
+	stop := sched.Every(period, func() {
+		run(sched.Now(), b.collect)
+		b.flush()
+	})
+	return &handle{stop: stop}
+}
+
 // Engine evaluates sensor queries over one network.
 type Engine struct {
 	mu  sync.Mutex
@@ -164,6 +204,14 @@ func (e *Engine) StartSelect(q *SelectQuery, sched *vtime.Scheduler, sink Sink) 
 		e.RunSelectEpoch(q, sched.Now(), sink)
 	})
 	return &handle{stop: stop}
+}
+
+// StartSelectBatch is StartSelect delivering each epoch's passing readings
+// as one batch instead of tuple-at-a-time.
+func (e *Engine) StartSelectBatch(q *SelectQuery, sched *vtime.Scheduler, sink BatchSink) Runner {
+	return startEpochRunner(sched, q.Period, sink, func(now vtime.Time, deliver Sink) {
+		e.RunSelectEpoch(q, now, deliver)
+	})
 }
 
 // errNoBase is returned by estimators when the network has no base station.

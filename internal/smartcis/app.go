@@ -52,6 +52,9 @@ type Options struct {
 	MachinesPerLab int
 	// SkipPDUServers disables the real HTTP PDU endpoints (benchmarks).
 	SkipPDUServers bool
+	// Parallelism shards deployed stream plans across this many pipeline
+	// replicas (default 1 = serial).
+	Parallelism int
 }
 
 // App is the running SmartCIS deployment.
@@ -131,6 +134,7 @@ func New(opts Options) (*App, error) {
 		// Bound recursive route enumeration by the hallway depth; deeper
 		// paths only revisit corridors.
 		RecursionDepth: len(b.Points()) / 2,
+		Parallelism:    opts.Parallelism,
 	})
 	if err := app.registerSources(opts); err != nil {
 		return nil, err

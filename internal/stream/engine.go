@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"aspen/internal/data"
 	"aspen/internal/vtime"
@@ -14,18 +15,21 @@ import (
 // owns named input streams, the operator pipelines subscribed to them, and
 // the display sinks that OUTPUT TO routes to.
 //
-// Execution is synchronous push under a per-engine lock: a Push drives the
-// tuple through every subscribed pipeline before returning, which keeps
-// single-node tests deterministic. Cross-node parallelism comes from the
-// exchange layer (transport.go), where each remote link feeds this engine
+// Execution is synchronous push: a Push drives the tuple through every
+// subscribed pipeline before returning, which keeps single-node tests
+// deterministic. Hot-path dispatch takes no engine lock — subscriber and
+// advancer lists are copy-on-write, so pipelines on different inputs never
+// serialize on the engine. Intra-pipeline parallelism comes from the
+// partition exchange layer (shard.go); cross-node parallelism from the
+// transport layer (transport.go), where each remote link feeds this engine
 // from its own goroutine.
 type Engine struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards registries and copy-on-write writers
 	name     string
 	clock    vtime.Clock
 	inputs   map[string]*Input
 	displays map[string]*Materialize
-	advs     []Advancer
+	advs     atomic.Pointer[[]Advancer]
 }
 
 // NewEngine creates a named engine node.
@@ -52,7 +56,9 @@ type Input struct {
 	name   string
 	schema *data.Schema
 	engine *Engine
-	subs   []Operator
+	// subs is copy-on-write: Subscribe replaces the slice under the engine
+	// lock, Push/PushBatch load it atomically and dispatch lock-free.
+	subs atomic.Pointer[[]Operator]
 }
 
 // Register declares a named input stream. Duplicate names fail.
@@ -103,11 +109,25 @@ func (in *Input) Schema() *data.Schema { return in.schema }
 // Name returns the input's name.
 func (in *Input) Name() string { return in.name }
 
-// Subscribe attaches a pipeline head to this input.
+// Subscribe attaches a pipeline head to this input. The subscriber list is
+// copied, so in-flight pushes keep dispatching to the list they loaded.
 func (in *Input) Subscribe(op Operator) {
 	in.engine.mu.Lock()
-	in.subs = append(in.subs, op)
+	var next []Operator
+	if cur := in.subs.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, op)
+	in.subs.Store(&next)
 	in.engine.mu.Unlock()
+}
+
+// subscribers loads the current subscriber list without locking.
+func (in *Input) subscribers() []Operator {
+	if p := in.subs.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Push injects a tuple into the input, driving all subscribed pipelines.
@@ -116,18 +136,18 @@ func (in *Input) Push(t data.Tuple) {
 	if t.TS == 0 {
 		t.TS = in.engine.clock.Now()
 	}
-	in.engine.mu.Lock()
-	subs := in.subs
-	in.engine.mu.Unlock()
-	for _, op := range subs {
+	for _, op := range in.subscribers() {
 		op.Push(t.Clone())
 	}
 }
 
 // PushBatch injects a batch of tuples, driving all subscribed pipelines
 // once per subscriber instead of once per tuple. Zero timestamps are
-// stamped in place with the engine clock; each subscriber receives its own
-// cloned batch, like Push.
+// stamped in place with the engine clock. Every subscriber but the last
+// receives its own cloned batch; the final subscriber is handed the
+// original tuples, making single-subscriber pipelines zero-copy — so the
+// caller must not reuse the pushed Vals afterwards (the slice itself may
+// be reused, per the BatchOperator contract).
 func (in *Input) PushBatch(ts []data.Tuple) {
 	if len(ts) == 0 {
 		return
@@ -137,15 +157,17 @@ func (in *Input) PushBatch(ts []data.Tuple) {
 			ts[i].TS = in.engine.clock.Now()
 		}
 	}
-	in.engine.mu.Lock()
-	subs := in.subs
-	in.engine.mu.Unlock()
-	for _, op := range subs {
-		cl := make([]data.Tuple, len(ts))
-		for i, t := range ts {
-			cl[i] = t.Clone()
+	subs := in.subscribers()
+	for i, op := range subs {
+		b := ts
+		if i < len(subs)-1 {
+			cl := make([]data.Tuple, len(ts))
+			for k, t := range ts {
+				cl[k] = t.Clone()
+			}
+			b = cl
 		}
-		PushBatch(op, cl)
+		PushBatch(op, b)
 	}
 }
 
@@ -169,21 +191,26 @@ func (e *Engine) PushBatch(input string, ts []data.Tuple) error {
 	return nil
 }
 
-// TrackWindow registers a window (or any Advancer) for clock ticks.
+// TrackWindow registers a window (or any Advancer) for clock ticks. The
+// advancer list is copy-on-write like subscriber lists.
 func (e *Engine) TrackWindow(a Advancer) {
 	e.mu.Lock()
-	e.advs = append(e.advs, a)
+	var next []Advancer
+	if cur := e.advs.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, a)
+	e.advs.Store(&next)
 	e.mu.Unlock()
 }
 
 // Advance ticks every tracked window to the given instant, expiring state
 // during stream silence.
 func (e *Engine) Advance(now vtime.Time) {
-	e.mu.Lock()
-	advs := e.advs
-	e.mu.Unlock()
-	for _, a := range advs {
-		a.Advance(now)
+	if advs := e.advs.Load(); advs != nil {
+		for _, a := range *advs {
+			a.Advance(now)
+		}
 	}
 }
 

@@ -130,6 +130,21 @@ func (m *Materialize) PushBatch(ts []data.Tuple) {
 	}
 }
 
+// ChainOnChange installs fn to run after any already-installed OnChange
+// hook, atomically with respect to concurrent mutations — use it instead
+// of writing the OnChange field once the materialize may be receiving
+// pushes (e.g. from shard workers).
+func (m *Materialize) ChainOnChange(fn func()) {
+	m.mu.Lock()
+	prev := m.OnChange
+	if prev == nil {
+		m.OnChange = fn
+	} else {
+		m.OnChange = func() { prev(); fn() }
+	}
+	m.mu.Unlock()
+}
+
 // Len returns the number of distinct rows currently in the result.
 func (m *Materialize) Len() int {
 	m.mu.Lock()

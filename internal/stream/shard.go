@@ -1,0 +1,343 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"aspen/internal/data"
+	"aspen/internal/vtime"
+)
+
+// This file is the engine's partition-parallel execution layer: a pipeline
+// is replicated P ways, a Sharder exchange operator routes every tuple to
+// the replica owning its key partition, and a Merge funnel folds the
+// replicas' outputs back into one sink. Because routing hashes the same
+// canonical key encoding the stateful operators key their tables on
+// (data.Hasher), join, aggregate and distinct state partitions cleanly by
+// construction: all tuples of one group / join key land in one replica.
+//
+// Concurrency model: single writer per shard. Each shard owns one worker
+// goroutine and one bounded FIFO queue; every message for replica j —
+// tuple batches from any Sharder of the set, clock ticks, flush barriers —
+// travels through queue j, so replica operators never see two goroutines
+// and need no locks. Only the funnel sink behind Merge is shared.
+
+// shardBatchCap is the capacity of recycled batch buffers; a Sharder
+// flushes a shard's pending buffer early once it fills.
+const shardBatchCap = 256
+
+// shardQueueCap bounds each shard's message queue; producers block when a
+// worker falls this far behind (backpressure instead of unbounded memory).
+const shardQueueCap = 16
+
+type shardMsgKind uint8
+
+const (
+	msgData shardMsgKind = iota
+	msgTick
+	msgBarrier
+)
+
+// shardMsg is one queue entry. Data messages carry a tuple batch and the
+// replica operator to deliver it to; ticks carry a clock instant for the
+// shard's Advancers; barriers carry a WaitGroup the worker signals.
+type shardMsg struct {
+	head  Operator
+	batch []data.Tuple
+	now   vtime.Time
+	wg    *sync.WaitGroup
+	kind  shardMsgKind
+}
+
+// ShardSet is the runtime of one partition-parallel deployment: P worker
+// goroutines, their queues, a shared freelist of batch buffers, and the
+// per-shard Advancers (replica windows) that clock ticks fan out to.
+//
+// Lifecycle: NewShardSet → Track (replica windows) → Start → data flows
+// through Sharders → Flush (barrier) whenever a consistent snapshot of the
+// downstream sink is needed → Close. Close is safe while producers (engine
+// ticks, still-subscribed Sharders) are live: the set drops everything
+// sent after the close instead of panicking, matching the engine's
+// "stopped queries abandon their operator state" convention.
+type ShardSet struct {
+	p      int
+	queues []chan shardMsg
+	free   chan []data.Tuple
+	advs   [][]Advancer
+	wg     sync.WaitGroup
+	// mu serializes in-flight queue sends against Close: senders hold it
+	// for reading (per batch, not per tuple), Close for writing.
+	mu      sync.RWMutex
+	started bool
+	closed  bool
+}
+
+// NewShardSet creates a set of p shards (p >= 1), not yet started.
+func NewShardSet(p int) *ShardSet {
+	if p < 1 {
+		p = 1
+	}
+	s := &ShardSet{
+		p:      p,
+		queues: make([]chan shardMsg, p),
+		free:   make(chan []data.Tuple, p*shardQueueCap),
+		advs:   make([][]Advancer, p),
+	}
+	for j := range s.queues {
+		s.queues[j] = make(chan shardMsg, shardQueueCap)
+	}
+	return s
+}
+
+// Shards returns the partition width P.
+func (s *ShardSet) Shards() int { return s.p }
+
+// Track registers a time-driven operator (a replica's window) with its
+// shard; Advance ticks reach it in-order with that shard's data. Must be
+// called before Start.
+func (s *ShardSet) Track(shard int, a Advancer) {
+	if s.started {
+		panic("stream: ShardSet.Track after Start")
+	}
+	s.advs[shard] = append(s.advs[shard], a)
+}
+
+// Start launches the shard workers. Call after all Track registrations and
+// before any Sharder of the set receives data.
+func (s *ShardSet) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.wg.Add(s.p)
+	for j := 0; j < s.p; j++ {
+		go s.worker(j)
+	}
+}
+
+// worker drains shard j's queue: one goroutine, hence a single writer for
+// every operator of replica j. The loop performs no steady-state heap
+// allocation: batch buffers recycle through the freelist.
+func (s *ShardSet) worker(j int) {
+	defer s.wg.Done()
+	for m := range s.queues[j] {
+		switch m.kind {
+		case msgData:
+			PushBatch(m.head, m.batch)
+			clear(m.batch) // drop tuple references; the pipeline owns them now
+			select {
+			case s.free <- m.batch[:0]:
+			default: // freelist full: let GC take the buffer
+			}
+		case msgTick:
+			for _, a := range s.advs[j] {
+				a.Advance(m.now)
+			}
+		case msgBarrier:
+			m.wg.Done()
+		}
+	}
+}
+
+// buf returns an empty batch buffer, recycling drained ones.
+func (s *ShardSet) buf() []data.Tuple {
+	select {
+	case b := <-s.free:
+		return b
+	default:
+		return make([]data.Tuple, 0, shardBatchCap)
+	}
+}
+
+// send enqueues one data batch for shard j. After Close the batch is
+// dropped but its buffer still recycles, so a still-subscribed Sharder on
+// a live input keeps the push path allocation-free.
+func (s *ShardSet) send(j int, head Operator, batch []data.Tuple) {
+	s.mu.RLock()
+	if !s.closed {
+		s.queues[j] <- shardMsg{kind: msgData, head: head, batch: batch}
+		s.mu.RUnlock()
+		return
+	}
+	s.mu.RUnlock()
+	clear(batch)
+	select {
+	case s.free <- batch[:0]:
+	default:
+	}
+}
+
+// Advance implements Advancer by fanning the tick to every shard queue, so
+// replica windows expire in-order with their shard's data stream. The
+// engine tick loop returns immediately; Flush waits for the expiry work.
+// Ticks after Close are dropped (the engine has no untrack).
+func (s *ShardSet) Advance(now vtime.Time) {
+	s.mu.RLock()
+	if !s.closed {
+		for j := 0; j < s.p; j++ {
+			s.queues[j] <- shardMsg{kind: msgTick, now: now}
+		}
+	}
+	s.mu.RUnlock()
+}
+
+// Flush blocks until every message enqueued before the call — batches and
+// ticks alike — has been fully processed, establishing a barrier: after
+// Flush, the merged sink reflects everything pushed so far. Producers must
+// be quiet for the barrier to be meaningful.
+func (s *ShardSet) Flush() {
+	var wg sync.WaitGroup
+	s.mu.RLock()
+	if !s.started || s.closed {
+		s.mu.RUnlock()
+		return
+	}
+	wg.Add(s.p)
+	for j := 0; j < s.p; j++ {
+		s.queues[j] <- shardMsg{kind: msgBarrier, wg: &wg}
+	}
+	s.mu.RUnlock()
+	wg.Wait()
+}
+
+// Close drains the queues and stops the workers. It is safe with live
+// producers: anything a Sharder or Advance sends afterwards is dropped
+// (the deployment's result simply stops updating). Idempotent.
+func (s *ShardSet) Close() {
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for j := 0; j < s.p; j++ {
+		close(s.queues[j]) // workers drain buffered messages, then exit
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Sharder is the exchange operator in front of one replicated pipeline
+// entry point: it routes each pushed tuple to the shard owning the tuple's
+// key partition (hash of the key columns modulo P) and forwards batches
+// through the set's queues. Several Sharders (one per scan of a plan)
+// share one ShardSet, so a join's left and right inputs partitioned on
+// aligned keys meet in the same replica.
+//
+// Ownership: pushed tuples are handed to the owning replica un-cloned, per
+// the Operator convention. Producers may push from multiple goroutines;
+// dispatch state is mutex-protected (per-shard order then follows arrival
+// order under the lock).
+type Sharder struct {
+	set    *ShardSet
+	heads  []Operator // replica entry points, one per shard
+	keyIdx []int      // key column indexes; nil = all columns
+	schema *data.Schema
+	hasher data.Hasher
+
+	mu   sync.Mutex
+	pend [][]data.Tuple // per-shard pending batch, freelist-backed
+}
+
+// NewSharder builds the exchange in front of the given replica heads (one
+// per shard of set, all sharing a schema). keyIdx names the partition key
+// columns; nil partitions on all columns.
+func NewSharder(set *ShardSet, heads []Operator, keyIdx []int) (*Sharder, error) {
+	if len(heads) != set.p {
+		return nil, fmt.Errorf("stream: sharder needs %d heads, got %d", set.p, len(heads))
+	}
+	return &Sharder{
+		set:    set,
+		heads:  heads,
+		keyIdx: keyIdx,
+		schema: heads[0].Schema(),
+		pend:   make([][]data.Tuple, set.p),
+	}, nil
+}
+
+// Schema implements Operator.
+func (sh *Sharder) Schema() *data.Schema { return sh.schema }
+
+// Push implements Operator: the tuple routes to its shard and ships
+// immediately (single-tuple pushes do not linger in pending buffers).
+func (sh *Sharder) Push(t data.Tuple) {
+	sh.mu.Lock()
+	sh.route(t)
+	sh.flushPending()
+	sh.mu.Unlock()
+}
+
+// PushBatch implements BatchOperator: the batch is split by key partition
+// and each shard's slice ships as one queue message, so downstream
+// dispatch amortizes exactly like the serial PushBatch path.
+func (sh *Sharder) PushBatch(ts []data.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	sh.mu.Lock()
+	for _, t := range ts {
+		sh.route(t)
+	}
+	sh.flushPending()
+	sh.mu.Unlock()
+}
+
+// route appends t to its shard's pending buffer, shipping the buffer early
+// when full. Caller holds sh.mu.
+func (sh *Sharder) route(t data.Tuple) {
+	j := 0
+	if sh.set.p > 1 {
+		j = int(sh.hasher.HashOn(t, sh.keyIdx) % uint64(sh.set.p))
+	}
+	b := sh.pend[j]
+	if b == nil {
+		b = sh.set.buf()
+	}
+	b = append(b, t)
+	if len(b) == cap(b) {
+		sh.set.send(j, sh.heads[j], b)
+		b = nil
+	}
+	sh.pend[j] = b
+}
+
+// flushPending ships every non-empty pending buffer. Caller holds sh.mu.
+func (sh *Sharder) flushPending() {
+	for j, b := range sh.pend {
+		if len(b) > 0 {
+			sh.set.send(j, sh.heads[j], b)
+			sh.pend[j] = nil
+		}
+	}
+}
+
+// Merge folds concurrent shard outputs into one downstream operator: a
+// mutex funnel. Per-shard output order is preserved (each shard pushes
+// from its single worker), interleaving across shards is arbitrary —
+// sound, because partitioned state never emits deltas for the same key
+// from two shards.
+type Merge struct {
+	mu   sync.Mutex
+	next Operator
+}
+
+// NewMerge builds a funnel in front of next.
+func NewMerge(next Operator) *Merge { return &Merge{next: next} }
+
+// Schema implements Operator.
+func (m *Merge) Schema() *data.Schema { return m.next.Schema() }
+
+// Push implements Operator.
+func (m *Merge) Push(t data.Tuple) {
+	m.mu.Lock()
+	m.next.Push(t)
+	m.mu.Unlock()
+}
+
+// PushBatch implements BatchOperator: the whole batch crosses the funnel
+// under one lock acquisition.
+func (m *Merge) PushBatch(ts []data.Tuple) {
+	m.mu.Lock()
+	PushBatch(m.next, ts)
+	m.mu.Unlock()
+}
