@@ -19,14 +19,33 @@ fmt:
 check: build vet fmt test
 
 # bench runs the E1-E10 microbenchmarks with allocation stats, then
-# regenerates the experiment tables (including the E7 shard sweep) and
-# writes them, plus the recorded seed/PR-1 baselines, to BENCH_PR2.json.
+# regenerates the experiment tables (including the E7 shard and
+# global-aggregate sweeps) and writes them, plus the recorded
+# seed/PR-1/PR-2 baselines, to BENCH_PR3.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
-	$(GO) run ./cmd/benchharness -json BENCH_PR2.json
+	$(GO) run ./cmd/benchharness -json BENCH_PR3.json
 
 # race exercises the concurrent paths (shard workers, engine fan-out,
-# sensor epoch sinks) under the race detector; mirrored by the CI job.
+# sensor epoch sinks, the randomized serial-vs-sharded differential
+# harness) under the race detector; mirrored by the CI job.
 .PHONY: race
 race:
 	$(GO) test -race ./internal/stream/... ./internal/sensor/... ./internal/plan/... ./internal/core/...
+
+# cover gates statement coverage of the partition-parallel core packages:
+# the floors are the measured coverage when the gate was introduced (PR 3),
+# so new code in these packages must arrive tested.
+COVER_FLOOR_STREAM := 89.5
+COVER_FLOOR_PLAN   := 84.5
+.PHONY: cover
+cover:
+	@check() { \
+		pct=$$($(GO) test -cover $$1 | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$1: coverage run failed"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$2" 'BEGIN { print (p+0 >= f+0) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "$$1: coverage $$pct% below floor $$2%"; exit 1; fi; \
+		echo "$$1: coverage $$pct% (floor $$2%)"; \
+	}; \
+	check ./internal/stream/ $(COVER_FLOOR_STREAM) && \
+	check ./internal/plan/ $(COVER_FLOOR_PLAN)

@@ -311,6 +311,28 @@ func BenchmarkE7StreamThroughputSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkE7GlobalAggSharded is E7 with the grouped aggregate replaced by
+// a global AVG (no GROUP BY): each replica runs window→join→
+// PartialAggregate and a single serial FinalMerge behind the Merge funnel
+// combines the per-shard partial states — the two-phase path that lets
+// building-wide rollups shard at all (PR 2 ran them serial). Every join
+// result updates the one global group, so this also stresses the
+// partial-emit path far harder than the grouped benchmark.
+func BenchmarkE7GlobalAggSharded(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			e := experiments.NewShardedE7Global(10*time.Second, p)
+			defer e.Set.Close()
+			b.ResetTimer()
+			ts := vtime.Time(0)
+			for i := 0; i < b.N; i += 64 {
+				ts = e.FeedEpoch(i, ts)
+			}
+			e.Set.Flush()
+		})
+	}
+}
+
 // BenchmarkE8CostUnification measures one optimization under modified
 // radio statistics (the cost-conversion path).
 func BenchmarkE8CostUnification(b *testing.B) {

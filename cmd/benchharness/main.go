@@ -3,7 +3,7 @@
 //
 //	go run ./cmd/benchharness                       # all experiments
 //	go run ./cmd/benchharness E2 E4                 # a subset
-//	go run ./cmd/benchharness -json BENCH_PR1.json  # machine-readable dump
+//	go run ./cmd/benchharness -json BENCH_PR3.json  # machine-readable dump
 //
 // With -json, the selected experiment tables are also written to the given
 // file together with the recorded seed baselines of the hot-path
@@ -41,13 +41,27 @@ var pr1Baselines = map[string]string{
 	"E9EndToEnd":              "293379 ns/op, 977 allocs/op",
 }
 
+// pr2Baselines records the post-PR-2 shard-sweep numbers (single-core CI
+// container) that PR 3's two-phase additions must not regress against; the
+// global-aggregate sweep rides in the E7 table (`10s/glob/P=n` rows) and
+// in BenchmarkE7GlobalAggSharded.
+var pr2Baselines = map[string]string{
+	"E7StreamThroughputSharded/P=1": "244 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=2": "259 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=4": "287 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=8": "392 ns/op, 0 allocs/op",
+}
+
 type report struct {
 	// SeedBaseline holds the pre-optimization microbenchmark numbers for
 	// the benchmarks the PR-1 acceptance criteria track.
 	SeedBaseline map[string]string `json:"seed_baseline"`
 	// PR1Baseline holds the post-PR-1 numbers that PR 2's serial paths
 	// must not regress against.
-	PR1Baseline map[string]string   `json:"pr1_baseline"`
+	PR1Baseline map[string]string `json:"pr1_baseline"`
+	// PR2Baseline holds the post-PR-2 sharded numbers that PR 3's
+	// two-phase aggregation must not regress against.
+	PR2Baseline map[string]string   `json:"pr2_baseline"`
 	Experiments []experiments.Table `json:"experiments"`
 }
 
@@ -73,7 +87,7 @@ func main() {
 	if len(want) == 0 {
 		want = order
 	}
-	rep := report{SeedBaseline: seedBaselines, PR1Baseline: pr1Baselines}
+	rep := report{SeedBaseline: seedBaselines, PR1Baseline: pr1Baselines, PR2Baseline: pr2Baselines}
 	for _, id := range want {
 		fn, ok := all[strings.ToUpper(id)]
 		if !ok {

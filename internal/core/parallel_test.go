@@ -84,3 +84,59 @@ func TestRuntimeParallelismShardsDeployedPlans(t *testing.T) {
 		}
 	}
 }
+
+// TestRuntimeParallelismGlobalAggregateTwoPhase deploys a building-wide
+// rollup — a global aggregate with no GROUP BY, the query PR 2 had to run
+// serially — through Config.Parallelism and checks it shards two-phase
+// with results identical to serial.
+func TestRuntimeParallelismGlobalAggregateTwoPhase(t *testing.T) {
+	const src = `SELECT count(*) AS n, avg(r.value) AS v FROM Readings r [RANGE 5 SECONDS]`
+	feed := func(rt *Runtime, sched *vtime.Scheduler) {
+		in, ok := rt.Stream.Input("Readings")
+		if !ok {
+			t.Fatal("Readings input missing")
+		}
+		for i := 0; i < 40; i++ {
+			batch := make([]data.Tuple, 0, 8)
+			for k := 0; k < 8; k++ {
+				batch = append(batch, data.NewTuple(sched.Now(),
+					data.Str(fmt.Sprintf("L%d", (i+k)%6)), data.Float(float64((i*k)%11))))
+			}
+			in.PushBatch(batch)
+			sched.RunFor(300 * time.Millisecond)
+		}
+	}
+
+	srt, ssched := newParallelRuntime(t, 0)
+	sq, err := srt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(srt, ssched)
+	want, err := sq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 1 {
+		t.Fatalf("serial global aggregate rows = %v", want)
+	}
+
+	prt, psched := newParallelRuntime(t, 4)
+	pq, err := prt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Deployment.Shards != 4 || !pq.Deployment.TwoPhase {
+		t.Fatalf("Shards=%d TwoPhase=%v, want a 4-way two-phase deployment",
+			pq.Deployment.Shards, pq.Deployment.TwoPhase)
+	}
+	feed(prt, psched)
+	got, err := pq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Stop()
+	if len(got) != 1 || !got[0].EqualVals(want[0]) {
+		t.Fatalf("sharded global aggregate %v, want %v", got, want)
+	}
+}

@@ -377,8 +377,19 @@ func E7StreamThroughput() Table {
 			elapsed.Truncate(time.Microsecond).String(),
 			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds())})
 	}
+	// Global-aggregate sweep (PR 3): the same pipeline ending in a global
+	// AVG (no GROUP BY) — two-phase partial aggregation per shard, one
+	// serial FinalMerge.
+	for _, p := range []int{1, 2, 4, 8} {
+		const n = 30000
+		elapsed := runGlobalAggPipeline(10*time.Second, n, p)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("10s/glob/P=%d", p), d(n),
+			elapsed.Truncate(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds())})
+	}
 	t.Notes = "larger windows hold more join state, so each arrival probes and expires more; " +
-		"P rows shard the pipeline across worker replicas (speedup needs multiple cores)"
+		"P rows shard the pipeline across worker replicas (speedup needs multiple cores); " +
+		"glob rows run the global-aggregate two-phase (partial/final-merge) path"
 	return t
 }
 
@@ -394,25 +405,60 @@ type ShardedE7 struct {
 
 // NewShardedE7 builds and starts the pipeline; callers Close the Set.
 func NewShardedE7(win time.Duration, p int) *ShardedE7 {
+	return newShardedE7(win, p, false)
+}
+
+// NewShardedE7Global is NewShardedE7 with the grouped AVG replaced by a
+// global AVG (no GROUP BY): each replica runs a stream.PartialAggregate
+// and one serial stream.FinalMerge behind the Merge funnel combines the
+// shards' partial states — the two-phase path global aggregates shard
+// through.
+func NewShardedE7Global(win time.Duration, p int) *ShardedE7 {
+	return newShardedE7(win, p, true)
+}
+
+func newShardedE7(win time.Duration, p int, global bool) *ShardedE7 {
 	left := data.NewSchema("a", data.Col("k", data.TInt), data.Col("v", data.TFloat))
 	left.IsStream = true
 	right := data.NewSchema("b", data.Col("k", data.TInt), data.Col("w", data.TFloat))
 	right.IsStream = true
 	joined := left.Concat(right)
 	specs := []stream.AggSpec{{Kind: stream.AggAvg, Arg: expr.C("v"), Alias: "m"}}
-	outSchema, err := stream.AggOutSchema(joined, []string{"a.k"}, specs)
+	groupBy := []string{"a.k"}
+	if global {
+		groupBy = nil
+	}
+	outSchema, err := stream.AggOutSchema(joined, groupBy, specs)
 	if err != nil {
 		panic(err)
 	}
 	mat := stream.NewMaterialize(outSchema)
-	merge := stream.NewMerge(mat)
+	var sink stream.Operator = mat
+	if global {
+		fm, err := stream.NewFinalMerge(mat, joined, groupBy, specs, nil)
+		if err != nil {
+			panic(err)
+		}
+		sink = fm
+	}
+	merge := stream.NewMerge(sink)
 	set := stream.NewShardSet(p)
 	lheads := make([]stream.Operator, p)
 	rheads := make([]stream.Operator, p)
 	for s := 0; s < p; s++ {
-		agg, err := stream.NewAggregate(merge, joined, []string{"a.k"}, specs, nil)
-		if err != nil {
-			panic(err)
+		var agg stream.Operator
+		if global {
+			pa, err := stream.NewPartialAggregate(merge, joined, groupBy, specs)
+			if err != nil {
+				panic(err)
+			}
+			agg = pa
+		} else {
+			a, err := stream.NewAggregate(merge, joined, groupBy, specs, nil)
+			if err != nil {
+				panic(err)
+			}
+			agg = a
 		}
 		j, err := stream.NewJoin(agg, left, right, []string{"a.k"}, []string{"b.k"}, nil)
 		if err != nil {
@@ -467,6 +513,20 @@ func (e *ShardedE7) FeedEpoch(i int, ts vtime.Time) vtime.Time {
 // runShardedJoinPipeline drives n tuples through a ShardedE7 and times it.
 func runShardedJoinPipeline(win time.Duration, n, p int) time.Duration {
 	e := NewShardedE7(win, p)
+	defer e.Set.Close()
+	start := time.Now()
+	ts := vtime.Time(0)
+	for i := 0; i < n; i += 64 {
+		ts = e.FeedEpoch(i, ts)
+	}
+	e.Set.Flush()
+	return time.Since(start)
+}
+
+// runGlobalAggPipeline is runShardedJoinPipeline over the two-phase
+// global-aggregate variant.
+func runGlobalAggPipeline(win time.Duration, n, p int) time.Duration {
+	e := NewShardedE7Global(win, p)
 	defer e.Set.Close()
 	start := time.Now()
 	ts := vtime.Time(0)

@@ -40,6 +40,10 @@ type Deployment struct {
 	// Shards is the partition-parallel width the plan deployed with
 	// (1 = serial execution).
 	Shards int
+	// TwoPhase reports that the plan's aggregate deployed as per-shard
+	// PartialAggregate stages merged by one serial FinalMerge (the path
+	// that shards global aggregates and non-partitionable grouping keys).
+	TwoPhase bool
 
 	set *stream.ShardSet
 }
@@ -94,8 +98,8 @@ func CompileStream(b *Built, eng *stream.Engine) (*Deployment, error) {
 // shard behind Sharder exchanges and folded back through a Merge.
 func CompileStreamOpts(b *Built, eng *stream.Engine, opts CompileOptions) (*Deployment, error) {
 	if opts.Parallelism > 1 {
-		if keys, ok := shardableKeys(b.Root); ok {
-			return compileSharded(b, eng, opts.Parallelism, keys)
+		if strat, ok := analyzeShard(b.Root); ok {
+			return compileSharded(b, eng, opts.Parallelism, strat)
 		}
 	}
 	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: 1}
@@ -159,15 +163,49 @@ func attachScan(x *Scan, head stream.Operator, eng *stream.Engine, dep *Deployme
 }
 
 // compileSharded deploys P pipeline replicas: each scan feeds a Sharder
-// that hash-partitions its input on the analysis-chosen key columns, every
+// that hash-partitions its input on the analysis-chosen key, every
 // replica's windows are clock-ticked by the shard set in-order with that
 // shard's data, and all replicas emit into one Merge-guarded sink.
-func compileSharded(b *Built, eng *stream.Engine, p int, keys map[*Scan][]string) (*Deployment, error) {
-	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: p}
-	merge := stream.NewMerge(newDeploymentSink(b, eng, dep))
+//
+// With a two-phase strategy the replicas cover only the subtree below the
+// split aggregate, each capped by a PartialAggregate; the operators above
+// the split — the serial spine — compile once behind the Merge funnel,
+// fed by the FinalMerge that combines the shards' partial states.
+func compileSharded(b *Built, eng *stream.Engine, p int, strat *shardStrategy) (*Deployment, error) {
+	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: p, TwoPhase: strat.Split != nil}
+	sink := newDeploymentSink(b, eng, dep)
 	set := stream.NewShardSet(p)
 	heads := map[*Scan][]stream.Operator{}
+
+	parRoot := b.Root
+	var replicaSink func() (stream.Operator, error)
+	if strat.Split == nil {
+		merge := stream.NewMerge(sink)
+		replicaSink = func() (stream.Operator, error) { return merge, nil }
+	} else {
+		sc := &compiler{
+			splitAgg: strat.Split,
+			track:    func(stream.Advancer) {}, // the spine is unary and windowless
+			scanHead: func(x *Scan, _ stream.Operator) error {
+				return fmt.Errorf("plan: scan %s on the serial spine of a two-phase plan", x.Input)
+			},
+		}
+		if err := sc.compile(b.Root, sink); err != nil {
+			return nil, err
+		}
+		merge := stream.NewMerge(sc.finalMerge)
+		split := strat.Split
+		parRoot = split.In
+		replicaSink = func() (stream.Operator, error) {
+			return stream.NewPartialAggregate(merge, split.In.Schema(), split.GroupBy, split.Specs)
+		}
+	}
+
 	for j := 0; j < p; j++ {
+		out, err := replicaSink()
+		if err != nil {
+			return nil, err
+		}
 		shard := j
 		c := &compiler{
 			track: func(a stream.Advancer) { set.Track(shard, a) },
@@ -176,7 +214,7 @@ func compileSharded(b *Built, eng *stream.Engine, p int, keys map[*Scan][]string
 				return nil
 			},
 		}
-		if err := c.compile(b.Root, merge); err != nil {
+		if err := c.compile(parRoot, out); err != nil {
 			return nil, err
 		}
 	}
@@ -189,16 +227,8 @@ func compileSharded(b *Built, eng *stream.Engine, p int, keys map[*Scan][]string
 		sh   *stream.Sharder
 	}
 	var ws []wiring
-	for _, scan := range Scans(b.Root) {
-		var keyIdx []int
-		for _, k := range keys[scan] {
-			i, err := scan.Schema().ColIndex(k)
-			if err != nil {
-				return nil, fmt.Errorf("plan: shard key %s: %w", k, err)
-			}
-			keyIdx = append(keyIdx, i)
-		}
-		sh, err := stream.NewSharder(set, heads[scan], keyIdx)
+	for _, scan := range Scans(parRoot) {
+		sh, err := newScanSharder(set, heads[scan], scan, strat.Keys[scan])
 		if err != nil {
 			return nil, err
 		}
@@ -222,12 +252,55 @@ func compileSharded(b *Built, eng *stream.Engine, p int, keys map[*Scan][]string
 	return dep, nil
 }
 
+// newScanSharder builds the exchange in front of one scan's replica heads.
+// When every key is a bare column the exchange routes on stored values
+// (the allocation-free fast path); computed keys route on evaluated
+// expression values. nil keys partition on all columns.
+func newScanSharder(set *stream.ShardSet, heads []stream.Operator, scan *Scan, keys []expr.Expr) (*stream.Sharder, error) {
+	if keys == nil {
+		return stream.NewSharder(set, heads, nil)
+	}
+	keyIdx := make([]int, 0, len(keys))
+	allCols := true
+	for _, k := range keys {
+		col, ok := k.(expr.Col)
+		if !ok {
+			allCols = false
+			break
+		}
+		i, err := scan.Schema().ColIndex(col.Ref)
+		if err != nil {
+			return nil, fmt.Errorf("plan: shard key %s: %w", col.Ref, err)
+		}
+		keyIdx = append(keyIdx, i)
+	}
+	if allCols {
+		return stream.NewSharder(set, heads, keyIdx)
+	}
+	compiled := make([]*expr.Compiled, len(keys))
+	for i, k := range keys {
+		c, err := expr.Bind(k, scan.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("plan: shard key %s: %w", k, err)
+		}
+		compiled[i] = c
+	}
+	return stream.NewExprSharder(set, heads, compiled)
+}
+
 // compiler carries the deployment context of one pipeline replica: who
 // receives clock ticks, and what to do with a finished scan head
 // (subscribe it directly, or hand it to a Sharder).
+//
+// splitAgg, when set, marks the aggregate a two-phase plan splits at: the
+// compiler lowers it to a FinalMerge (recorded in finalMerge) and stops
+// descending — the subtree below belongs to the replicas.
 type compiler struct {
 	track    func(stream.Advancer)
 	scanHead func(*Scan, stream.Operator) error
+
+	splitAgg   *Aggregate
+	finalMerge *stream.FinalMerge
 }
 
 func (c *compiler) compile(n Node, out stream.Operator) error {
@@ -272,6 +345,14 @@ func (c *compiler) compile(n Node, out stream.Operator) error {
 		return c.compile(x.R, j.Right())
 
 	case *Aggregate:
+		if c.splitAgg == x {
+			fm, err := stream.NewFinalMerge(out, x.In.Schema(), x.GroupBy, x.Specs, x.Having)
+			if err != nil {
+				return err
+			}
+			c.finalMerge = fm
+			return nil
+		}
 		a, err := stream.NewAggregate(out, x.In.Schema(), x.GroupBy, x.Specs, x.Having)
 		if err != nil {
 			return err

@@ -1,0 +1,330 @@
+package plan
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+	"aspen/internal/sql"
+	"aspen/internal/stream"
+	"aspen/internal/vtime"
+)
+
+// Randomized serial-vs-sharded differential harness: generate random
+// logical plans (select / project / join / aggregate / distinct over
+// random key sets), drive them with identical insert+delete workloads at
+// P=1 and P∈{2,4}, and require multiset-equal materialized results. Every
+// run is reproducible from the seed:
+//
+//	go test ./internal/plan -run ShardDifferential -fuzzshard.seed=42 -fuzzshard.n=100
+//
+// Numeric columns stay small integers (and projections stay in integer
+// arithmetic) so SUM/AVG accumulate exactly in float64 — two-phase
+// aggregation reassociates additions, which must not introduce rounding
+// differences the comparison would flag.
+var (
+	fuzzSeed = flag.Int64("fuzzshard.seed", 1, "base PRNG seed for the shard differential harness")
+	fuzzN    = flag.Int("fuzzshard.n", 40, "random plans per shard differential run")
+)
+
+// fuzzSource is one generated stream source.
+type fuzzSource struct {
+	name   string
+	schema *data.Schema
+}
+
+func fuzzSources() []fuzzSource {
+	s1 := data.NewSchema("S1",
+		data.Col("a", data.TInt), data.Col("b", data.TInt), data.Col("s", data.TString))
+	s1.IsStream = true
+	s2 := data.NewSchema("S2",
+		data.Col("x", data.TInt), data.Col("y", data.TInt))
+	s2.IsStream = true
+	return []fuzzSource{{"S1", s1}, {"S2", s2}}
+}
+
+// fuzzGen builds random plans bottom-up, tracking which scans it created.
+type fuzzGen struct {
+	rng     *rand.Rand
+	sources []fuzzSource
+	nscans  int
+	nals    int // computed-column alias counter (aliases must stay unique plan-wide)
+}
+
+// genScan emits a scan over a random source with a random window.
+func (g *fuzzGen) genScan() Node {
+	src := g.sources[g.rng.Intn(len(g.sources))]
+	g.nscans++
+	alias := fmt.Sprintf("t%d", g.nscans)
+	var w *sql.WindowSpec
+	switch g.rng.Intn(3) {
+	case 0: // unwindowed: tuples accumulate
+	case 1:
+		w = &sql.WindowSpec{Kind: sql.WindowRange, Range: 2 * time.Second}
+	case 2:
+		w = &sql.WindowSpec{Kind: sql.WindowRange, Range: 5 * time.Second, Slide: time.Second}
+	}
+	return NewScan(src.name, alias, src.schema, w, 10, false)
+}
+
+// intCols lists the integer columns of a node's schema.
+func intCols(n Node) []string {
+	var out []string
+	for _, c := range n.Schema().Cols {
+		if c.Type == data.TInt {
+			out = append(out, c.QName())
+		}
+	}
+	return out
+}
+
+// genScalar returns a random deterministic integer expression over col.
+func (g *fuzzGen) genScalar(col string) expr.Expr {
+	c := expr.C(col)
+	switch g.rng.Intn(4) {
+	case 0:
+		return expr.Bin{Op: expr.OpAdd, L: c, R: expr.L(g.rng.Intn(3) + 1)}
+	case 1:
+		return expr.Bin{Op: expr.OpMul, L: c, R: expr.L(2)}
+	case 2:
+		return expr.Bin{Op: expr.OpMod, L: c, R: expr.L(g.rng.Intn(3) + 2)}
+	default:
+		return expr.Call{Name: "abs", Args: []expr.Expr{c}}
+	}
+}
+
+// genUnary maybe wraps n in selects / projects.
+func (g *fuzzGen) genUnary(n Node) Node {
+	if ints := intCols(n); len(ints) > 0 && g.rng.Intn(3) == 0 {
+		pred := expr.Bin{Op: expr.OpGe, L: expr.C(ints[g.rng.Intn(len(ints))]),
+			R: expr.L(g.rng.Intn(3) - 1)}
+		n = &Select{In: n, Pred: pred}
+	}
+	if g.rng.Intn(3) == 0 {
+		var items []stream.ProjectItem
+		for _, c := range n.Schema().Cols {
+			ref := c.QName()
+			if c.Type == data.TInt && g.rng.Intn(3) == 0 {
+				g.nals++
+				items = append(items, stream.ProjectItem{
+					Expr: g.genScalar(ref), Alias: fmt.Sprintf("e%d", g.nals)})
+			} else {
+				items = append(items, stream.ProjectItem{Expr: expr.C(ref)})
+			}
+		}
+		p, err := NewProject(n, items)
+		if err == nil {
+			n = p
+		}
+	}
+	return n
+}
+
+// genTree builds the select/project/join layer.
+func (g *fuzzGen) genTree(depth int) Node {
+	if depth <= 0 || g.rng.Intn(3) > 0 {
+		return g.genUnary(g.genScan())
+	}
+	l := g.genTree(depth - 1)
+	r := g.genTree(depth - 1)
+	li, ri := intCols(l), intCols(r)
+	if len(li) == 0 || len(ri) == 0 {
+		return g.genUnary(l)
+	}
+	j := NewJoin(l, r, []string{li[g.rng.Intn(len(li))]}, []string{ri[g.rng.Intn(len(ri))]}, nil)
+	return g.genUnary(j)
+}
+
+// genPlan builds a full random plan: tree, then optionally an aggregate
+// (random key set, possibly empty = global; random spec mix), then
+// optionally DISTINCT over a projection.
+func (g *fuzzGen) genPlan() Node {
+	n := g.genTree(2)
+	if g.rng.Intn(2) == 0 {
+		cols := n.Schema().Cols
+		var groupBy []string
+		for _, c := range cols {
+			if len(groupBy) < 2 && g.rng.Intn(3) == 0 {
+				groupBy = append(groupBy, c.QName())
+			}
+		}
+		var specs []stream.AggSpec
+		specs = append(specs, stream.AggSpec{Kind: stream.AggCount, Alias: "cnt"})
+		if ints := intCols(n); len(ints) > 0 {
+			kinds := []stream.AggKind{stream.AggSum, stream.AggAvg, stream.AggMin, stream.AggMax}
+			for i := 0; i < 1+g.rng.Intn(2); i++ {
+				specs = append(specs, stream.AggSpec{
+					Kind:  kinds[g.rng.Intn(len(kinds))],
+					Arg:   expr.C(ints[g.rng.Intn(len(ints))]),
+					Alias: fmt.Sprintf("agg%d", i),
+				})
+			}
+		}
+		agg, err := NewAggregate(n, groupBy, specs, nil)
+		if err == nil {
+			n = agg
+		}
+	}
+	if g.rng.Intn(3) == 0 {
+		n = g.genUnary(n)
+		n = &Distinct{In: n}
+	}
+	return n
+}
+
+// fuzzWorkload generates one deterministic insert+delete tuple sequence
+// per source; every engine replays the same sequence.
+type fuzzEvent struct {
+	input string
+	t     data.Tuple
+	tick  vtime.Time // when non-zero, advance the engine clock instead
+}
+
+func genWorkload(rng *rand.Rand, sources []fuzzSource, n int) []fuzzEvent {
+	var evs []fuzzEvent
+	live := map[string][]data.Tuple{}
+	val := func() data.Value {
+		if rng.Intn(10) == 0 {
+			return data.Null
+		}
+		return data.Int(int64(rng.Intn(5)))
+	}
+	ts := vtime.Time(0)
+	for i := 0; i < n; i++ {
+		ts += vtime.Time(50 * time.Millisecond)
+		if rng.Intn(40) == 0 {
+			// occasional idle gap: tick-driven window expiry
+			ts += vtime.Time(3 * time.Second)
+			evs = append(evs, fuzzEvent{tick: ts})
+			continue
+		}
+		src := sources[rng.Intn(len(sources))]
+		if lv := live[src.name]; len(lv) > 0 && rng.Intn(4) == 0 {
+			k := rng.Intn(len(lv))
+			del := lv[k].Negate()
+			del.TS = ts
+			lv[k] = lv[len(lv)-1]
+			live[src.name] = lv[:len(lv)-1]
+			evs = append(evs, fuzzEvent{input: src.name, t: del})
+			continue
+		}
+		vals := make([]data.Value, src.schema.Arity())
+		for j, c := range src.schema.Cols {
+			if c.Type == data.TString {
+				vals[j] = data.Str(fmt.Sprintf("s%d", rng.Intn(3)))
+			} else {
+				vals[j] = val()
+			}
+		}
+		tu := data.Tuple{Vals: vals, TS: ts}
+		live[src.name] = append(live[src.name], tu)
+		evs = append(evs, fuzzEvent{input: src.name, t: tu})
+	}
+	// final drain tick so every window empties identically
+	evs = append(evs, fuzzEvent{tick: ts + vtime.Time(10*time.Second)})
+	return evs
+}
+
+// replay drives the workload into one engine (cloning tuples: operators
+// retain pushed Vals) and snapshots the deployment.
+func replay(t *testing.T, dep *Deployment, eng *stream.Engine, evs []fuzzEvent) []data.Tuple {
+	t.Helper()
+	for _, ev := range evs {
+		if ev.tick != 0 {
+			eng.Advance(ev.tick)
+			continue
+		}
+		in, ok := eng.Input(ev.input)
+		if !ok {
+			continue // plan does not scan this source
+		}
+		in.Push(ev.t.Clone())
+	}
+	rows, err := dep.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.SortTuples(rows)
+	return rows
+}
+
+// runShardDifferential generates nPlans random plans from seed and checks
+// sharded P∈{2,4} against serial on each. It reports how many plans
+// actually sharded / two-phased so a regression to pervasive serial
+// fallback fails loudly rather than passing vacuously.
+func runShardDifferential(t *testing.T, seed int64, nPlans int) {
+	sources := fuzzSources()
+	sharded, twoPhase := 0, 0
+	for pi := 0; pi < nPlans; pi++ {
+		rng := rand.New(rand.NewSource(seed + int64(pi)))
+		g := &fuzzGen{rng: rng, sources: sources}
+		root := g.genPlan()
+		b := &Built{Root: root, Limit: -1}
+		evs := genWorkload(rng, sources, 300)
+
+		deploy := func(par int) (*Deployment, *stream.Engine) {
+			eng := stream.NewEngine(fmt.Sprintf("fz%d-p%d", pi, par), vtime.NewScheduler())
+			dep, err := CompileStreamOpts(b, eng, CompileOptions{Parallelism: par})
+			if err != nil {
+				t.Fatalf("seed %d plan %d: compile P=%d: %v\nplan: %s", seed, pi, par, err, root)
+			}
+			return dep, eng
+		}
+
+		sdep, seng := deploy(0)
+		want := replay(t, sdep, seng, evs)
+		for _, p := range []int{2, 4} {
+			dep, eng := deploy(p)
+			got := replay(t, dep, eng, evs)
+			if dep.Shards == p {
+				sharded++
+				if dep.TwoPhase {
+					twoPhase++
+				}
+			}
+			dep.Close()
+			if len(got) != len(want) {
+				t.Fatalf("seed %d plan %d P=%d (shards=%d twophase=%v): %d rows, want %d\nplan: %s\ngot:  %v\nwant: %v",
+					seed, pi, p, dep.Shards, dep.TwoPhase, len(got), len(want), root, got, want)
+			}
+			for i := range want {
+				if !got[i].EqualVals(want[i]) {
+					t.Fatalf("seed %d plan %d P=%d (shards=%d twophase=%v): row %d = %v, want %v\nplan: %s",
+						seed, pi, p, dep.Shards, dep.TwoPhase, i, got[i], want[i], root)
+				}
+			}
+		}
+	}
+	t.Logf("seed %d: %d plans, %d/%d sharded deployments (%d two-phase)",
+		seed, nPlans, sharded, 2*nPlans, twoPhase)
+	if sharded < nPlans/2 {
+		t.Fatalf("only %d of %d deployments sharded; the generator or analysis regressed", sharded, 2*nPlans)
+	}
+	if twoPhase == 0 {
+		t.Fatal("no generated plan exercised the two-phase path")
+	}
+}
+
+// TestShardDifferentialRandomPlans is the main randomized differential
+// run; tune with -fuzzshard.seed / -fuzzshard.n.
+func TestShardDifferentialRandomPlans(t *testing.T) {
+	runShardDifferential(t, *fuzzSeed, *fuzzN)
+}
+
+// TestShardDifferentialForcedCollisions reruns a slice of the differential
+// harness with every operator hash forced into one collision bucket
+// (testHashMask = 0), covering bucket-verification paths in the sharded
+// and two-phase operators.
+func TestShardDifferentialForcedCollisions(t *testing.T) {
+	old := stream.SetTestHashMask(0)
+	t.Cleanup(func() { stream.SetTestHashMask(old) })
+	n := *fuzzN / 4
+	if n < 5 {
+		n = 5
+	}
+	runShardDifferential(t, *fuzzSeed+1000, n)
+}

@@ -1,15 +1,24 @@
 package plan
 
 import (
+	"strings"
+
 	"aspen/internal/expr"
 	"aspen/internal/sql"
 )
 
 // This file decides whether a logical plan can execute partition-parallel
-// (stream.Sharder / stream.ShardSet) and, if so, which columns each scan
-// must hash-partition its input on so that every stateful operator's state
+// (stream.Sharder / stream.ShardSet) and, if so, which key each scan must
+// hash-partition its input on so that every stateful operator's state
 // partitions cleanly: all tuples of one group, one join key, or one
 // distinct value land in the same pipeline replica.
+//
+// Partition keys are scalar expressions over the scan schema, not just
+// columns: a key column that passes through a deterministic computed
+// projection still imposes a key on the source — the projection expression
+// itself, evaluated by the exchange (stream.NewExprSharder). Equal key
+// values downstream come from equal expression values at the scan, so the
+// shard stays a function of the key.
 //
 // The analysis runs top-down. impose(n, keys, exact) establishes the
 // invariant that subtree n's output tuples route to shard
@@ -23,24 +32,65 @@ import (
 //     for single-input state (groups, distinct), which only needs the
 //     shard to be a function of the key.
 //
-// Plans the analysis cannot prove partitionable — global aggregates, ROWS
-// windows (a global last-n), cross joins, keys hidden behind computed
-// projections — fall back to serial execution.
+// Aggregates the invariant cannot reach — global aggregates, and grouped
+// aggregates whose key does not survive to the scans — still shard via
+// two-phase (partial/final-merge) execution when they sit on the plan's
+// serial spine: analyzeShard splits the aggregate into per-replica
+// stream.PartialAggregate stages and one serial stream.FinalMerge, and the
+// subtree below partitions on whatever key its own operators need (partial
+// states merge correctly under any deterministic partitioning). Plans
+// neither analysis covers — ROWS windows (a global last-n), cross joins —
+// fall back to serial execution.
 
-// shardableKeys returns, for each scan, the partition key columns (nil =
-// all columns) when the plan can execute partition-parallel.
-func shardableKeys(root Node) (map[*Scan][]string, bool) {
-	out := map[*Scan][]string{}
-	if !impose(root, nil, false, out) {
-		return nil, false
+// shardStrategy describes how a plan executes partition-parallel.
+type shardStrategy struct {
+	// Keys gives each scan's partition key expressions over the scan
+	// schema; nil means "all columns".
+	Keys map[*Scan][]expr.Expr
+	// Split, when non-nil, is the aggregate that executes two-phase: each
+	// replica runs a PartialAggregate over Split.In, and the operators
+	// above Split run serially behind the Merge funnel, fed by a
+	// FinalMerge.
+	Split *Aggregate
+}
+
+// analyzeShard decides whether (and how) the plan can execute
+// partition-parallel.
+func analyzeShard(root Node) (*shardStrategy, bool) {
+	keys := map[*Scan][]expr.Expr{}
+	if impose(root, nil, false, keys) {
+		return &shardStrategy{Keys: keys}, true
 	}
-	return out, true
+	// One-phase sharding failed. Walk the serial spine — unary operators
+	// that can run once behind the merge funnel — to the topmost
+	// aggregate and split it two-phase: the replicas impose no key of
+	// their own (partial states merge under any partitioning), so the
+	// subtree below partitions on whatever its joins and windows need.
+	n := root
+	for {
+		switch x := n.(type) {
+		case *Select:
+			n = x.In
+		case *Project:
+			n = x.In
+		case *Distinct:
+			n = x.In
+		case *Aggregate:
+			keys = map[*Scan][]expr.Expr{}
+			if !impose(x.In, nil, false, keys) {
+				return nil, false
+			}
+			return &shardStrategy{Keys: keys, Split: x}, true
+		default:
+			return nil, false
+		}
+	}
 }
 
 // impose establishes the partition invariant for subtree n; keys == nil
 // means no requirement has been set yet (the first stateful operator
-// below picks its own). It records each scan's partition columns in out.
-func impose(n Node, keys []string, exact bool, out map[*Scan][]string) bool {
+// below picks its own). It records each scan's partition key in out.
+func impose(n Node, keys []expr.Expr, exact bool, out map[*Scan][]expr.Expr) bool {
 	switch x := n.(type) {
 	case *Scan:
 		// A ROWS window is a global last-n: its contents depend on total
@@ -49,7 +99,7 @@ func impose(n Node, keys []string, exact bool, out map[*Scan][]string) bool {
 			return false
 		}
 		for _, k := range keys {
-			if !x.Schema().HasCol(k) {
+			if _, err := expr.Bind(k, x.Schema()); err != nil {
 				return false
 			}
 		}
@@ -63,22 +113,20 @@ func impose(n Node, keys []string, exact bool, out map[*Scan][]string) bool {
 		if keys == nil {
 			return impose(x.In, nil, exact, out)
 		}
-		// Map each key through the projection; only bare column references
-		// preserve the value (and therefore the hash) across the operator.
-		mapped := make([]string, 0, len(keys))
+		// Map each key through the projection by substituting column
+		// references with their defining items; deterministic computed
+		// items preserve the key's value (and therefore its hash) across
+		// the operator.
+		mapped := make([]expr.Expr, 0, len(keys))
 		for _, k := range keys {
-			j, err := x.Schema().ColIndex(k)
-			if err != nil {
-				return false
-			}
-			col, ok := x.Items[j].Expr.(expr.Col)
+			m, ok := mapThroughProject(k, x)
 			if !ok {
 				if exact {
 					return false
 				}
-				continue // computed column: drop from the loose key
+				continue // unresolvable key part: drop from the loose key
 			}
-			mapped = append(mapped, col.Ref)
+			mapped = append(mapped, m)
 		}
 		if len(mapped) == 0 {
 			return false
@@ -89,40 +137,47 @@ func impose(n Node, keys []string, exact bool, out map[*Scan][]string) bool {
 		if keys == nil {
 			// Set semantics only need equal tuples co-located: partition on
 			// (any subsequence of) the full row.
-			keys = make([]string, x.Schema().Arity())
+			keys = make([]expr.Expr, x.Schema().Arity())
 			for i, c := range x.Schema().Cols {
-				keys[i] = c.QName()
+				keys[i] = expr.Col{Ref: c.QName()}
 			}
 			exact = false
 		}
 		return impose(x.In, keys, exact, out)
 
 	case *Aggregate:
-		if len(x.GroupBy) == 0 {
-			// A global aggregate would need a partial-merge stage; not yet.
-			return false
-		}
 		if keys == nil {
-			return impose(x.In, x.GroupBy, false, out)
+			if len(x.GroupBy) == 0 {
+				// A global aggregate needs the two-phase split; analyzeShard
+				// applies it when this aggregate sits on the serial spine.
+				return false
+			}
+			gk := make([]expr.Expr, len(x.GroupBy))
+			for i, g := range x.GroupBy {
+				gk[i] = expr.Col{Ref: g}
+			}
+			return impose(x.In, gk, false, out)
 		}
-		// Keys map positionally: AggOutSchema lays out group columns first,
-		// in GroupBy order, then aggregate columns.
-		sub := make([]string, 0, len(keys))
+		// Keys map through the group columns: AggOutSchema lays out group
+		// columns first, in GroupBy order; aggregate-value columns do not
+		// survive downward.
+		sub := make([]expr.Expr, 0, len(keys))
 		for _, k := range keys {
-			j, err := x.Schema().ColIndex(k)
-			if err != nil || j >= len(x.GroupBy) {
+			m, ok := mapThroughAggregate(k, x)
+			if !ok {
 				if exact {
-					return false // key is an aggregate value, not a group column
+					return false // key depends on an aggregate value
 				}
 				continue
 			}
-			sub = append(sub, x.GroupBy[j])
+			sub = append(sub, m)
 		}
 		if len(sub) == 0 {
 			return false
 		}
-		// sub ⊆ GroupBy keeps every group in one shard; under an exact
-		// requirement nothing was dropped, so values match keys in order.
+		// sub references only group columns, keeping every group in one
+		// shard; under an exact requirement nothing was dropped, so values
+		// match keys in order.
 		return impose(x.In, sub, exact, out)
 
 	case *Join:
@@ -153,7 +208,13 @@ func impose(n Node, keys []string, exact bool, out map[*Scan][]string) bool {
 			}
 		} else {
 			for _, k := range keys {
-				i := pairOf(k)
+				// Only a bare join-key column aligns the two sides; a
+				// computed key cannot be imposed on both inputs at once.
+				col, isCol := k.(expr.Col)
+				i := -1
+				if isCol {
+					i = pairOf(col.Ref)
+				}
 				if i < 0 {
 					if exact {
 						return false
@@ -166,15 +227,124 @@ func impose(n Node, keys []string, exact bool, out map[*Scan][]string) bool {
 				return false
 			}
 		}
-		lsub := make([]string, len(pairs))
-		rsub := make([]string, len(pairs))
+		lsub := make([]expr.Expr, len(pairs))
+		rsub := make([]expr.Expr, len(pairs))
 		for i, p := range pairs {
-			lsub[i] = x.LKey[p]
-			rsub[i] = x.RKey[p]
+			lsub[i] = expr.Col{Ref: x.LKey[p]}
+			rsub[i] = expr.Col{Ref: x.RKey[p]}
 		}
 		// Both sides must shard on exactly the aligned key columns so that
 		// join partners (equal key values) meet in one replica.
 		return impose(x.L, lsub, true, out) && impose(x.R, rsub, true, out)
+	}
+	return false
+}
+
+// mapThroughProject rewrites a key expression over the projection's output
+// schema into an equivalent expression over its input schema, substituting
+// every column reference with its defining item. Fails on unresolvable
+// references and on items that are not deterministic scalars.
+func mapThroughProject(e expr.Expr, x *Project) (expr.Expr, bool) {
+	return substituteCols(e, func(ref string) (expr.Expr, bool) {
+		j, err := x.Schema().ColIndex(ref)
+		if err != nil {
+			return nil, false
+		}
+		item := x.Items[j].Expr
+		if !deterministicExpr(item) {
+			return nil, false
+		}
+		return item, true
+	})
+}
+
+// mapThroughAggregate rewrites a key expression over the aggregate's
+// output schema into one over its input, allowed only when every column
+// reference is a group column (position < len(GroupBy) in the output
+// layout). Aggregate values are computed, not carried, so they cannot
+// impose anything below.
+func mapThroughAggregate(e expr.Expr, x *Aggregate) (expr.Expr, bool) {
+	return substituteCols(e, func(ref string) (expr.Expr, bool) {
+		j, err := x.Schema().ColIndex(ref)
+		if err != nil || j >= len(x.GroupBy) {
+			return nil, false
+		}
+		return expr.Col{Ref: x.GroupBy[j]}, true
+	})
+}
+
+// substituteCols rewrites every column reference in e through sub,
+// preserving the rest of the tree.
+func substituteCols(e expr.Expr, sub func(ref string) (expr.Expr, bool)) (expr.Expr, bool) {
+	switch t := e.(type) {
+	case expr.Lit:
+		return t, true
+	case expr.Col:
+		return sub(t.Ref)
+	case expr.Bin:
+		l, ok := substituteCols(t.L, sub)
+		if !ok {
+			return nil, false
+		}
+		r, ok := substituteCols(t.R, sub)
+		if !ok {
+			return nil, false
+		}
+		return expr.Bin{Op: t.Op, L: l, R: r}, true
+	case expr.Un:
+		in, ok := substituteCols(t.X, sub)
+		if !ok {
+			return nil, false
+		}
+		return expr.Un{Op: t.Op, X: in}, true
+	case expr.IsNull:
+		in, ok := substituteCols(t.X, sub)
+		if !ok {
+			return nil, false
+		}
+		return expr.IsNull{X: in, Neg: t.Neg}, true
+	case expr.Call:
+		args := make([]expr.Expr, len(t.Args))
+		for i, a := range t.Args {
+			m, ok := substituteCols(a, sub)
+			if !ok {
+				return nil, false
+			}
+			args[i] = m
+		}
+		return expr.Call{Name: t.Name, Args: args}, true
+	}
+	return nil, false
+}
+
+// deterministicExpr reports whether e is a pure function of its input
+// tuple — the property that lets an exchange evaluate it for routing (an
+// insert and its delete must hash identically). Every current builtin is
+// deterministic; the explicit allowlist fails closed if one ever is not.
+func deterministicExpr(e expr.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case expr.Lit, expr.Col:
+		return true
+	case expr.Bin:
+		return deterministicExpr(x.L) && deterministicExpr(x.R)
+	case expr.Un:
+		return deterministicExpr(x.X)
+	case expr.IsNull:
+		return deterministicExpr(x.X)
+	case expr.Call:
+		switch strings.ToLower(x.Name) {
+		case "abs", "lower", "upper", "length", "coalesce", "sqrt", "dist":
+		default:
+			return false
+		}
+		for _, a := range x.Args {
+			if !deterministicExpr(a) {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }

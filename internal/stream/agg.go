@@ -63,14 +63,115 @@ type Aggregate struct {
 	next   Operator
 	in     *data.Schema
 	out    *data.Schema
-	keyIdx []int
-	kvIdx  []int // identity indexes into groupState.keyVals
 	specs  []AggSpec
 	args   []*expr.Compiled // nil entry for COUNT(*)
+	table  groupTable
+	having *expr.Compiled
+}
+
+// groupTable is the grouped-state core shared by the one-phase Aggregate
+// and the two-phase PartialAggregate / FinalMerge operators: hash-bucketed
+// group lookup keyed on the canonical encoding of the grouping columns
+// (data.Hasher), with collision buckets verified value-by-value through
+// EqualOn, so no key string is materialized per push.
+type groupTable struct {
+	keyIdx []int
+	kvIdx  []int // identity indexes into groupState.keyVals
+	nAggs  int
 	groups map[uint64][]*groupState
 	n      int // live group count
 	hasher data.Hasher
-	having *expr.Compiled
+}
+
+// newGroupTable resolves the grouping columns against in. groupBy must
+// already be validated (AggOutSchema / AggPartialSchema do).
+func newGroupTable(in *data.Schema, groupBy []string, nAggs int) groupTable {
+	gt := groupTable{nAggs: nAggs, groups: map[uint64][]*groupState{}}
+	// keyIdx must stay non-nil: Tuple.HashOn(h, nil) means "all columns",
+	// but an empty GROUP BY means one global group (empty key).
+	gt.keyIdx = make([]int, 0, len(groupBy))
+	gt.kvIdx = make([]int, 0, len(groupBy))
+	for _, g := range groupBy {
+		i, _ := in.ColIndex(g)
+		gt.keyIdx = append(gt.keyIdx, i)
+		gt.kvIdx = append(gt.kvIdx, len(gt.kvIdx))
+	}
+	return gt
+}
+
+// lookup finds the tuple's group, creating it for insertions. The nil
+// group result means a deletion addressed an unknown group (ignored by
+// every caller, matching the delta-stream convention).
+func (gt *groupTable) lookup(t data.Tuple) (uint64, *groupState) {
+	key := gt.hasher.HashOn(t, gt.keyIdx) & testHashMask
+	for _, cand := range gt.groups[key] {
+		// Verify the hash-bucket candidate's stored key values against the
+		// tuple's grouping columns under key-equality semantics.
+		if (data.Tuple{Vals: cand.keyVals}).EqualOn(gt.kvIdx, t, gt.keyIdx) {
+			return key, cand
+		}
+	}
+	if t.Op == data.Delete {
+		return key, nil
+	}
+	g := &groupState{aggs: make([]aggState, gt.nAggs)}
+	for i := range g.aggs {
+		g.aggs[i].vals = map[float64]int64{}
+	}
+	g.keyVals = make([]data.Value, len(gt.keyIdx))
+	for i, idx := range gt.keyIdx {
+		g.keyVals[i] = t.Vals[idx]
+	}
+	gt.groups[key] = append(gt.groups[key], g)
+	gt.n++
+	return key, g
+}
+
+// remove drops a dead group from its bucket.
+func (gt *groupTable) remove(key uint64, g *groupState) {
+	bucket := gt.groups[key]
+	for i, cand := range bucket {
+		if cand == g {
+			copy(bucket[i:], bucket[i+1:])
+			bucket[len(bucket)-1] = nil // drop the reference for GC
+			if len(bucket) == 1 {
+				delete(gt.groups, key)
+			} else {
+				gt.groups[key] = bucket[:len(bucket)-1]
+			}
+			break
+		}
+	}
+	gt.n--
+}
+
+// emitRow retracts g's previously emitted row and emits newOut (nil means
+// no visible row, e.g. failed HAVING or dead group), suppressing no-op
+// transitions, then removes the group once its count reaches zero.
+func (gt *groupTable) emitRow(next Operator, key uint64, g *groupState, newOut []data.Value, cause data.Tuple) {
+	if g.lastOut != nil {
+		same := newOut != nil && len(newOut) == len(g.lastOut)
+		if same {
+			for i := range newOut {
+				if !(newOut[i].IsNull() && g.lastOut[i].IsNull()) && !newOut[i].Equal(g.lastOut[i]) {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			return // no visible change
+		}
+		next.Push(data.Tuple{Vals: g.lastOut, TS: cause.TS, Op: data.Delete})
+		g.lastOut = nil
+	}
+	if newOut != nil {
+		next.Push(data.Tuple{Vals: newOut, TS: cause.TS, Op: data.Insert})
+		g.lastOut = newOut
+	}
+	if g.count <= 0 {
+		gt.remove(key, g)
+	}
 }
 
 type groupState struct {
@@ -131,29 +232,13 @@ func NewAggregate(next Operator, in *data.Schema, groupBy []string, specs []AggS
 	if err != nil {
 		return nil, err
 	}
-	a := &Aggregate{next: next, in: in, out: out, specs: specs, groups: map[uint64][]*groupState{}}
-	// keyIdx must stay non-nil: Tuple.HashOn(h, nil) means "all columns", but
-	// an empty GROUP BY means one global group (empty key).
-	a.keyIdx = make([]int, 0, len(groupBy))
-	a.kvIdx = make([]int, 0, len(groupBy))
-	for _, g := range groupBy {
-		i, _ := in.ColIndex(g) // validated by AggOutSchema
-		a.keyIdx = append(a.keyIdx, i)
-		a.kvIdx = append(a.kvIdx, len(a.kvIdx))
+	a := &Aggregate{next: next, in: in, out: out, specs: specs,
+		table: newGroupTable(in, groupBy, len(specs))}
+	if a.args, err = bindAggArgs(in, specs); err != nil {
+		return nil, err
 	}
-	for _, s := range specs {
-		var c *expr.Compiled
-		if s.Arg != nil {
-			c, err = expr.Bind(s.Arg, in)
-			if err != nil {
-				return nil, err
-			}
-		}
-		a.args = append(a.args, c)
-	}
-	if next.Schema().Arity() != out.Arity() {
-		return nil, fmt.Errorf("stream: aggregate output arity %d does not match downstream %s",
-			out.Arity(), next.Schema())
+	if err := checkAggDownstream(next, out, "aggregate"); err != nil {
+		return nil, err
 	}
 	if having != nil {
 		c, err := expr.Bind(having, out)
@@ -173,44 +258,58 @@ func (a *Aggregate) OutSchema() *data.Schema { return a.out }
 
 // Push implements Operator.
 func (a *Aggregate) Push(t data.Tuple) {
-	key := a.hasher.HashOn(t, a.keyIdx) & testHashMask
-	var g *groupState
-	for _, cand := range a.groups[key] {
-		// Verify the hash-bucket candidate's stored key values against the
-		// tuple's grouping columns under key-equality semantics.
-		if (data.Tuple{Vals: cand.keyVals}).EqualOn(a.kvIdx, t, a.keyIdx) {
-			g = cand
-			break
-		}
-	}
+	key, g := a.table.lookup(t)
 	if g == nil {
-		if t.Op == data.Delete {
-			return // deletion for unknown group: ignore
-		}
-		g = &groupState{aggs: make([]aggState, len(a.specs))}
-		for i := range g.aggs {
-			g.aggs[i].vals = map[float64]int64{}
-		}
-		g.keyVals = make([]data.Value, len(a.keyIdx))
-		for i, idx := range a.keyIdx {
-			g.keyVals[i] = t.Vals[idx]
-		}
-		a.groups[key] = append(a.groups[key], g)
-		a.n++
+		return // deletion for unknown group: ignore
 	}
+	accumulate(g, t, a.args)
+	a.emit(key, g, t)
+}
 
+// bindAggArgs compiles each spec's argument against in (nil entries mark
+// COUNT(*)). Shared by the one- and two-phase aggregate constructors.
+func bindAggArgs(in *data.Schema, specs []AggSpec) ([]*expr.Compiled, error) {
+	args := make([]*expr.Compiled, len(specs))
+	for i, s := range specs {
+		if s.Arg == nil {
+			continue
+		}
+		c, err := expr.Bind(s.Arg, in)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = c
+	}
+	return args, nil
+}
+
+// checkAggDownstream validates that next accepts out-shaped tuples.
+func checkAggDownstream(next Operator, out *data.Schema, what string) error {
+	if next.Schema().Arity() != out.Arity() {
+		return fmt.Errorf("stream: %s output arity %d does not match downstream %s",
+			what, out.Arity(), next.Schema())
+	}
+	return nil
+}
+
+// accumulate folds one input tuple into the group's running state — the
+// group count and every aggregate's (n, sum, value-multiset) — with the
+// tuple's polarity deciding the delta sign. Aggregate and
+// PartialAggregate accumulate identically; they differ only in what they
+// emit.
+func accumulate(g *groupState, t data.Tuple, args []*expr.Compiled) {
 	delta := int64(1)
 	if t.Op == data.Delete {
 		delta = -1
 	}
 	g.count += delta
-	for i := range a.specs {
+	for i := range args {
 		st := &g.aggs[i]
-		if a.args[i] == nil { // COUNT(*)
+		if args[i] == nil { // COUNT(*)
 			st.n += delta
 			continue
 		}
-		v := a.args[i].Eval(t)
+		v := args[i].Eval(t)
 		if v.IsNull() {
 			continue
 		}
@@ -222,60 +321,30 @@ func (a *Aggregate) Push(t data.Tuple) {
 			delete(st.vals, f)
 		}
 	}
-	a.emit(key, g, t)
 }
 
 // emit retracts the group's previous row and emits the new one (subject to
 // HAVING). Groups that become empty only retract.
 func (a *Aggregate) emit(key uint64, g *groupState, cause data.Tuple) {
-	var newOut []data.Value
-	if g.count > 0 {
-		newOut = make([]data.Value, 0, len(g.keyVals)+len(a.specs))
-		newOut = append(newOut, g.keyVals...)
-		for i, s := range a.specs {
-			newOut = append(newOut, g.aggs[i].result(s.Kind))
-		}
-		if a.having != nil && !a.having.EvalVals(newOut).AsBool() {
-			newOut = nil
-		}
-	}
+	a.table.emitRow(a.next, key, g, finalRow(g, a.specs, a.having), cause)
+}
 
-	if g.lastOut != nil {
-		same := newOut != nil && len(newOut) == len(g.lastOut)
-		if same {
-			for i := range newOut {
-				if !(newOut[i].IsNull() && g.lastOut[i].IsNull()) && !newOut[i].Equal(g.lastOut[i]) {
-					same = false
-					break
-				}
-			}
-		}
-		if same {
-			return // no visible change
-		}
-		a.next.Push(data.Tuple{Vals: g.lastOut, TS: cause.TS, Op: data.Delete})
-		g.lastOut = nil
-	}
-	if newOut != nil {
-		a.next.Push(data.Tuple{Vals: newOut, TS: cause.TS, Op: data.Insert})
-		g.lastOut = newOut
-	}
+// finalRow builds a group's visible output row — grouping columns followed
+// by finalized aggregates — or nil for a dead group / failed HAVING.
+// Shared by Aggregate and FinalMerge, whose output contracts are identical.
+func finalRow(g *groupState, specs []AggSpec, having *expr.Compiled) []data.Value {
 	if g.count <= 0 {
-		bucket := a.groups[key]
-		for i, cand := range bucket {
-			if cand == g {
-				copy(bucket[i:], bucket[i+1:])
-				bucket[len(bucket)-1] = nil // drop the reference for GC
-				if len(bucket) == 1 {
-					delete(a.groups, key)
-				} else {
-					a.groups[key] = bucket[:len(bucket)-1]
-				}
-				break
-			}
-		}
-		a.n--
+		return nil
 	}
+	out := make([]data.Value, 0, len(g.keyVals)+len(specs))
+	out = append(out, g.keyVals...)
+	for i, s := range specs {
+		out = append(out, g.aggs[i].result(s.Kind))
+	}
+	if having != nil && !having.EvalVals(out).AsBool() {
+		return nil
+	}
+	return out
 }
 
 // result finalizes one aggregate from its state.
@@ -322,4 +391,4 @@ func (st *aggState) result(k AggKind) data.Value {
 }
 
 // Groups reports the live group count (for plan displays).
-func (a *Aggregate) Groups() int { return a.n }
+func (a *Aggregate) Groups() int { return a.table.n }

@@ -61,6 +61,16 @@ func PushBatch(op Operator, ts []data.Tuple) {
 // every key into one collision bucket, exercising bucket verification.
 var testHashMask = ^uint64(0)
 
+// SetTestHashMask narrows operator key hashes and returns the previous
+// mask. It exists for tests in other packages (the plan-level differential
+// harness) that force every key into one collision bucket; only call it
+// while no operators are processing (before deploying, after closing).
+func SetTestHashMask(m uint64) (prev uint64) {
+	prev = testHashMask
+	testHashMask = m
+	return prev
+}
+
 // Advancer is implemented by operators with time-driven state (windows);
 // the engine ticks them so expiry happens even when a stream goes quiet.
 type Advancer interface {

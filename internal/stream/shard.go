@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"aspen/internal/data"
+	"aspen/internal/expr"
 	"aspen/internal/vtime"
 )
 
@@ -235,6 +236,13 @@ type Sharder struct {
 	schema *data.Schema
 	hasher data.Hasher
 
+	// keyFns, when set, routes on computed key expressions instead of
+	// stored columns: the partition key a plan imposes through a
+	// deterministic computed projection. keyBuf is the reusable scratch the
+	// expression values are evaluated into (guarded by mu like pend).
+	keyFns []*expr.Compiled
+	keyBuf []data.Value
+
 	mu   sync.Mutex
 	pend [][]data.Tuple // per-shard pending batch, freelist-backed
 }
@@ -253,6 +261,26 @@ func NewSharder(set *ShardSet, heads []Operator, keyIdx []int) (*Sharder, error)
 		schema: heads[0].Schema(),
 		pend:   make([][]data.Tuple, set.p),
 	}, nil
+}
+
+// NewExprSharder builds an exchange that routes each tuple on the hashed
+// values of computed key expressions (all bound against the head schema)
+// rather than stored columns. Equal expression values hash equal across
+// Sharders (the canonical value encoding), so two exchanges partitioned on
+// value-aligned expressions still co-locate matching tuples; and because
+// the expressions are deterministic over the tuple's values, an insert and
+// its later delete route to the same shard.
+func NewExprSharder(set *ShardSet, heads []Operator, keys []*expr.Compiled) (*Sharder, error) {
+	sh, err := NewSharder(set, heads, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("stream: expression sharder needs at least one key")
+	}
+	sh.keyFns = keys
+	sh.keyBuf = make([]data.Value, len(keys))
+	return sh, nil
 }
 
 // Schema implements Operator.
@@ -287,7 +315,14 @@ func (sh *Sharder) PushBatch(ts []data.Tuple) {
 func (sh *Sharder) route(t data.Tuple) {
 	j := 0
 	if sh.set.p > 1 {
-		j = int(sh.hasher.HashOn(t, sh.keyIdx) % uint64(sh.set.p))
+		if sh.keyFns != nil {
+			for i, f := range sh.keyFns {
+				sh.keyBuf[i] = f.Eval(t)
+			}
+			j = int(sh.hasher.HashOn(data.Tuple{Vals: sh.keyBuf}, nil) % uint64(sh.set.p))
+		} else {
+			j = int(sh.hasher.HashOn(t, sh.keyIdx) % uint64(sh.set.p))
+		}
 	}
 	b := sh.pend[j]
 	if b == nil {

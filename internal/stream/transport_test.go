@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -40,6 +41,71 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("condition not reached in time")
+}
+
+// TestServerSurvivesMalformedFrame injects truncated/garbage bytes where
+// the server expects a gob frame: only the offending connection must die
+// (the server closes it), while frames keep flowing on other connections.
+func TestServerSurvivesMalformedFrame(t *testing.T) {
+	remote := NewEngine("remote", vtime.NewScheduler())
+	in := remote.MustRegister("s", tempSchema())
+	col := NewCollector(tempSchema())
+	in.Subscribe(col)
+
+	srv, err := NewServer(remote, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	good, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := good.Send("s", temp(1, "L1", 20)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return col.Len() == 1 })
+
+	for name, garbage := range map[string][]byte{
+		// A complete one-byte message naming a corrupt type id: the decoder
+		// fails without waiting for more bytes.
+		"garbage": {0x01, 0x00},
+		// A truncated frame: a plausible length prefix, then EOF.
+		"truncated": {0x40, 0x01},
+	} {
+		t.Run(name, func(t *testing.T) {
+			bad, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bad.Close()
+			if _, err := bad.Write(garbage); err != nil {
+				t.Fatal(err)
+			}
+			if name == "truncated" {
+				// Half-close so the decoder sees EOF mid-frame.
+				bad.(*net.TCPConn).CloseWrite()
+			}
+			// The server must close only this connection: a read observes
+			// EOF/reset rather than hanging.
+			bad.SetReadDeadline(time.Now().Add(5 * time.Second))
+			var buf [1]byte
+			if _, err := bad.Read(buf[:]); err == nil {
+				t.Fatal("server kept the malformed connection open")
+			} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("server neither served nor closed the malformed connection")
+			}
+
+			// …while the healthy connection keeps delivering.
+			before := col.Len()
+			if err := good.Send("s", temp(2, "L2", 21)); err != nil {
+				t.Fatal(err)
+			}
+			waitFor(t, func() bool { return col.Len() == before+1 })
+		})
+	}
 }
 
 func TestTCPTransportDelivers(t *testing.T) {
