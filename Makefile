@@ -19,12 +19,19 @@ fmt:
 check: build vet fmt test
 
 # bench runs the E1-E10 microbenchmarks with allocation stats, then
-# regenerates the experiment tables (including the E7 shard and
-# global-aggregate sweeps) and writes them, plus the recorded
-# seed/PR-1/PR-2 baselines, to BENCH_PR3.json.
+# regenerates the experiment tables (including the E7 shard,
+# global-aggregate, and multi-node loopback-worker sweeps) and writes
+# them, plus the recorded seed/PR-1/PR-2/PR-3 baselines, to BENCH_PR4.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
-	$(GO) run ./cmd/benchharness -json BENCH_PR3.json
+	$(GO) run ./cmd/benchharness -json BENCH_PR4.json
+
+# bench-smoke compiles and runs every benchmark in every package exactly
+# once, so benchmarks cannot rot uncompiled between PRs; mirrored by the
+# CI bench-smoke step.
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # race exercises the concurrent paths (shard workers, engine fan-out,
 # sensor epoch sinks, the randomized serial-vs-sharded differential
@@ -32,6 +39,16 @@ bench:
 .PHONY: race
 race:
 	$(GO) test -race ./internal/stream/... ./internal/sensor/... ./internal/plan/... ./internal/core/...
+
+# dist runs the serial-vs-multi-node differential under the race detector:
+# random plans deploy their shard replicas over loopback shard workers
+# (in-process, so both wire ends are race-checked) and over two real
+# shardworker processes, and must stay multiset-identical to serial
+# execution. Mirrored by the CI `distributed` job.
+.PHONY: dist
+dist:
+	$(GO) test -race -run 'ShardDifferentialMultiNode|ShardDifferentialMixedLocalRemote|DistributedWorkerProcesses' \
+		./internal/plan/ -fuzzshard.nodes=2 -fuzzshard.n=40 -v
 
 # cover gates statement coverage of the partition-parallel core packages:
 # the floors are the measured coverage when the gate was introduced (PR 3),

@@ -333,6 +333,29 @@ func BenchmarkE7GlobalAggSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkE7RemoteSharded is the multi-node E7: the same compiled plan at
+// P=4 with its shard replicas round-robined over W loopback shard workers
+// (W=0 keeps every replica in-process — the same-harness baseline). The
+// delta against W=0 is the cost of routing the exchange, ticks, and the
+// result funnel over gob/TCP instead of in-process queues.
+func BenchmarkE7RemoteSharded(b *testing.B) {
+	for _, w := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			e, err := experiments.NewRemoteE7(10*time.Second, 4, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			b.ResetTimer()
+			ts := vtime.Time(0)
+			for i := 0; i < b.N; i += 64 {
+				ts = e.FeedEpoch(i, ts)
+			}
+			e.Dep.Flush()
+		})
+	}
+}
+
 // BenchmarkE8CostUnification measures one optimization under modified
 // radio statistics (the cost-conversion path).
 func BenchmarkE8CostUnification(b *testing.B) {

@@ -26,12 +26,24 @@ func main() {
 	planOnly := flag.Bool("plan", false, "show the federated plan without executing")
 	occupy := flag.String("occupy", "L101:1,L102:3", "comma-separated room:desk pairs to occupy")
 	par := flag.Int("par", 1, "shard deployed stream plans across this many pipeline replicas")
+	nodes := flag.String("nodes", "", "comma-separated shardworker addresses to spread replicas over (see cmd/shardworker; empty entries stay in-process; requires -par >= 2)")
 	flag.Parse()
 
+	var topo []string
+	if *nodes != "" {
+		for _, n := range strings.Split(*nodes, ",") {
+			topo = append(topo, strings.TrimSpace(n))
+		}
+		if *par < 2 {
+			log.Fatalf("-nodes names %d shard workers but -par is %d; replicas only distribute with -par >= 2",
+				len(topo), *par)
+		}
+	}
 	app, err := aspen.NewSmartCIS(aspen.SmartCISOptions{
 		Building:       aspen.BuildingConfig{Labs: *labs, DesksPerLab: 6, HallSpacing: 100, Offices: 2},
 		SkipPDUServers: false,
 		Parallelism:    *par,
+		Nodes:          topo,
 	})
 	if err != nil {
 		log.Fatal(err)

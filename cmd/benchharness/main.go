@@ -3,7 +3,7 @@
 //
 //	go run ./cmd/benchharness                       # all experiments
 //	go run ./cmd/benchharness E2 E4                 # a subset
-//	go run ./cmd/benchharness -json BENCH_PR3.json  # machine-readable dump
+//	go run ./cmd/benchharness -json BENCH_PR4.json  # machine-readable dump
 //
 // With -json, the selected experiment tables are also written to the given
 // file together with the recorded seed baselines of the hot-path
@@ -52,6 +52,21 @@ var pr2Baselines = map[string]string{
 	"E7StreamThroughputSharded/P=8": "392 ns/op, 0 allocs/op",
 }
 
+// pr3Baselines records the post-PR-3 sweep numbers (single-core CI
+// container) that PR 4's multi-node exchange must not regress against; the
+// loopback-worker sweep rides in the E7 table (`10s/P=4/W=n` rows) and in
+// BenchmarkE7RemoteSharded.
+var pr3Baselines = map[string]string{
+	"E7StreamThroughputSharded/P=1": "217 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=2": "243 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=4": "286 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=8": "394 ns/op, 0 allocs/op",
+	"E7GlobalAggSharded/P=1":        "228 ns/op, 0 allocs/op",
+	"E7GlobalAggSharded/P=2":        "245 ns/op, 0 allocs/op",
+	"E7GlobalAggSharded/P=4":        "290 ns/op, 0 allocs/op",
+	"E7GlobalAggSharded/P=8":        "407 ns/op, 0 allocs/op",
+}
+
 type report struct {
 	// SeedBaseline holds the pre-optimization microbenchmark numbers for
 	// the benchmarks the PR-1 acceptance criteria track.
@@ -61,7 +76,10 @@ type report struct {
 	PR1Baseline map[string]string `json:"pr1_baseline"`
 	// PR2Baseline holds the post-PR-2 sharded numbers that PR 3's
 	// two-phase aggregation must not regress against.
-	PR2Baseline map[string]string   `json:"pr2_baseline"`
+	PR2Baseline map[string]string `json:"pr2_baseline"`
+	// PR3Baseline holds the post-PR-3 sweep numbers that PR 4's
+	// multi-node exchange must not regress against.
+	PR3Baseline map[string]string   `json:"pr3_baseline"`
 	Experiments []experiments.Table `json:"experiments"`
 }
 
@@ -87,7 +105,8 @@ func main() {
 	if len(want) == 0 {
 		want = order
 	}
-	rep := report{SeedBaseline: seedBaselines, PR1Baseline: pr1Baselines, PR2Baseline: pr2Baselines}
+	rep := report{SeedBaseline: seedBaselines, PR1Baseline: pr1Baselines,
+		PR2Baseline: pr2Baselines, PR3Baseline: pr3Baselines}
 	for _, id := range want {
 		fn, ok := all[strings.ToUpper(id)]
 		if !ok {

@@ -1,0 +1,41 @@
+// Shardworker hosts remote shard replicas for distributed plan execution:
+// a coordinator compiled with Parallelism=P and a node topology
+// (core.Config.Nodes / plan.CompileOptions.Nodes) deploys replica subplans
+// here over the shard frame protocol, streams hash-partitioned batches and
+// clock ticks in, and receives result (or partial-aggregate) rows back —
+// the paper's "replicas live on different PCs" deployment model.
+//
+//	go run ./cmd/shardworker -listen 127.0.0.1:7070
+//	go run ./cmd/shardworker                # ephemeral port, printed on stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"aspen/internal/plan"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to serve shard replicas on")
+	flag.Parse()
+
+	w, err := plan.NewWorker(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The address line is machine-readable: tests and launch scripts parse
+	// it to learn an ephemeral port.
+	fmt.Printf("shardworker listening %s\n", w.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -6,15 +6,17 @@ import (
 	"time"
 
 	"aspen/internal/data"
+	"aspen/internal/plan"
 	"aspen/internal/vtime"
 )
 
 // newParallelRuntime assembles an all-stream runtime with the given plan
-// parallelism and one registered reading stream.
-func newParallelRuntime(t *testing.T, par int) (*Runtime, *vtime.Scheduler) {
+// parallelism (and optional shard-worker topology) and one registered
+// reading stream.
+func newParallelRuntime(t *testing.T, par int, nodes ...string) (*Runtime, *vtime.Scheduler) {
 	t.Helper()
 	sched := vtime.NewScheduler()
-	rt := New(Config{Scheduler: sched, Parallelism: par})
+	rt := New(Config{Scheduler: sched, Parallelism: par, Nodes: nodes})
 	t.Cleanup(rt.Close)
 	schema := data.NewSchema("Readings",
 		data.Col("room", data.TString), data.Col("value", data.TFloat))
@@ -138,5 +140,76 @@ func TestRuntimeParallelismGlobalAggregateTwoPhase(t *testing.T) {
 	pq.Stop()
 	if len(got) != 1 || !got[0].EqualVals(want[0]) {
 		t.Fatalf("sharded global aggregate %v, want %v", got, want)
+	}
+}
+
+// TestRuntimeParallelismMultiNode deploys the same windowed grouped
+// aggregation with its shard replicas spread over two loopback shard
+// workers (Config.Nodes) — the paper's replicas-on-different-PCs
+// deployment — and checks the distributed result against serial.
+func TestRuntimeParallelismMultiNode(t *testing.T) {
+	const src = `SELECT r.room, count(*) AS n, avg(r.value) AS v
+		FROM Readings r [RANGE 5 SECONDS] GROUP BY r.room ORDER BY r.room`
+	feed := func(rt *Runtime, sched *vtime.Scheduler) {
+		in, ok := rt.Stream.Input("Readings")
+		if !ok {
+			t.Fatal("Readings input missing")
+		}
+		for i := 0; i < 40; i++ {
+			batch := make([]data.Tuple, 0, 8)
+			for k := 0; k < 8; k++ {
+				batch = append(batch, data.NewTuple(sched.Now(),
+					data.Str(fmt.Sprintf("L%d", (i+k)%6)), data.Float(float64((i*k)%13))))
+			}
+			in.PushBatch(batch)
+			sched.RunFor(300 * time.Millisecond)
+		}
+	}
+
+	srt, ssched := newParallelRuntime(t, 0)
+	sq, err := srt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(srt, ssched)
+	want, err := sq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial reference is empty")
+	}
+
+	var nodes []string
+	for i := 0; i < 2; i++ {
+		w, err := plan.NewWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		nodes = append(nodes, w.Addr())
+	}
+	prt, psched := newParallelRuntime(t, 4, nodes...)
+	pq, err := prt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Deployment.Shards != 4 || len(pq.Deployment.Nodes) != 2 {
+		t.Fatalf("Shards=%d Nodes=%v, want a 4-way deployment over 2 workers",
+			pq.Deployment.Shards, pq.Deployment.Nodes)
+	}
+	feed(prt, psched)
+	got, err := pq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Stop() // closes the worker connections with the shard set
+	if len(got) != len(want) {
+		t.Fatalf("distributed rows %v, want %v", got, want)
+	}
+	for i := range want {
+		if !want[i].EqualVals(got[i]) {
+			t.Fatalf("row %d: distributed %v, want %v", i, got[i], want[i])
+		}
 	}
 }

@@ -44,6 +44,10 @@ type Config struct {
 	// stream plans across this many pipeline replicas (default 1 =
 	// serial). Plans the shard analysis cannot partition run serial.
 	Parallelism int
+	// Nodes lists shard-worker addresses (cmd/shardworker) to distribute
+	// the replicas over: shard j deploys to Nodes[j%len(Nodes)], with ""
+	// keeping that replica in-process. Empty runs everything in-process.
+	Nodes []string
 }
 
 // Runtime is one assembled ASPEN instance.
@@ -56,6 +60,7 @@ type Runtime struct {
 	sensors     *sensor.Engine
 	recursion   int
 	parallelism int
+	nodes       []string
 	tickCancel  func()
 }
 
@@ -80,6 +85,7 @@ func New(cfg Config) *Runtime {
 		sensors:     cfg.SensorEngine,
 		recursion:   cfg.RecursionDepth,
 		parallelism: cfg.Parallelism,
+		nodes:       cfg.Nodes,
 	}
 	rt.fed = &federation.Federator{Cat: rt.Cat}
 	if cfg.SensorEngine != nil {
@@ -189,7 +195,7 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 		return nil, err
 	}
 	dep, err := plan.CompileStreamOpts(res.Chosen.StreamPlan, rt.Stream,
-		plan.CompileOptions{Parallelism: rt.parallelism})
+		plan.CompileOptions{Parallelism: rt.parallelism, Nodes: rt.nodes})
 	if err != nil {
 		return nil, err
 	}

@@ -387,9 +387,21 @@ func E7StreamThroughput() Table {
 			elapsed.Truncate(time.Microsecond).String(),
 			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds())})
 	}
+	// Multi-node sweep (PR 4): the same compiled plan at P=4 with its
+	// replicas round-robined over W loopback shard workers (W=0 keeps all
+	// replicas in-process) — the gob/TCP exchange overhead of the paper's
+	// replicas-on-different-PCs deployment.
+	for _, w := range []int{0, 1, 2} {
+		const n = 30000
+		elapsed := runRemoteJoinPipeline(10*time.Second, n, 4, w)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("10s/P=4/W=%d", w), d(n),
+			elapsed.Truncate(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds())})
+	}
 	t.Notes = "larger windows hold more join state, so each arrival probes and expires more; " +
 		"P rows shard the pipeline across worker replicas (speedup needs multiple cores); " +
-		"glob rows run the global-aggregate two-phase (partial/final-merge) path"
+		"glob rows run the global-aggregate two-phase (partial/final-merge) path; " +
+		"W rows deploy the P=4 replicas over W loopback shard workers (gob/TCP exchange overhead)"
 	return t
 }
 
@@ -487,6 +499,14 @@ func newShardedE7(win time.Duration, p int, global bool) *ShardedE7 {
 // returning the advanced clock. One fresh backing array per epoch:
 // windows retain pushed tuples, so the source must not reuse Vals.
 func (e *ShardedE7) FeedEpoch(i int, ts vtime.Time) vtime.Time {
+	return feedE7Epoch(e.Left, e.Right, i, ts)
+}
+
+// feedE7Epoch generates the shared E7 epoch — 64 tuples with keys in
+// [0, 64) split alternately across the two inputs at a 50ms stride — so
+// every E7 variant (serial, sharded, remote) measures the identical
+// workload.
+func feedE7Epoch(left, right interface{ PushBatch([]data.Tuple) }, i int, ts vtime.Time) vtime.Time {
 	const epoch = 64
 	var lb, rb [epoch / 2]data.Tuple
 	ln, rn := 0, 0
@@ -505,8 +525,8 @@ func (e *ShardedE7) FeedEpoch(i int, ts vtime.Time) vtime.Time {
 			rn++
 		}
 	}
-	e.Left.PushBatch(lb[:ln])
-	e.Right.PushBatch(rb[:rn])
+	left.PushBatch(lb[:ln])
+	right.PushBatch(rb[:rn])
 	return ts
 }
 
@@ -534,6 +554,96 @@ func runGlobalAggPipeline(win time.Duration, n, p int) time.Duration {
 		ts = e.FeedEpoch(i, ts)
 	}
 	e.Set.Flush()
+	return time.Since(start)
+}
+
+// RemoteE7 is the standard E7 join+agg pipeline compiled as a plan whose
+// shard replicas deploy over loopback shard workers (plan.NewWorker /
+// cmd/shardworker): the workload of the multi-node shard sweep, measuring
+// what routing the exchange over the wire costs against in-process shards.
+type RemoteE7 struct {
+	Eng  *stream.Engine
+	Dep  *plan.Deployment
+	L, R *stream.Input
+
+	workers []*stream.ShardWorker
+}
+
+// NewRemoteE7 compiles the pipeline at parallelism p over the given number
+// of loopback workers (0 = every replica in-process), with shards
+// round-robined across them.
+func NewRemoteE7(win time.Duration, p, workers int) (*RemoteE7, error) {
+	left := data.NewSchema("A", data.Col("k", data.TInt), data.Col("v", data.TFloat))
+	left.IsStream = true
+	right := data.NewSchema("B", data.Col("k", data.TInt), data.Col("w", data.TFloat))
+	right.IsStream = true
+	w := &sql.WindowSpec{Kind: sql.WindowRange, Range: win}
+	join := plan.NewJoin(
+		plan.NewScan("A", "a", left, w, 100, false),
+		plan.NewScan("B", "b", right, w, 100, false),
+		[]string{"a.k"}, []string{"b.k"}, nil)
+	agg, err := plan.NewAggregate(join, []string{"a.k"},
+		[]stream.AggSpec{{Kind: stream.AggAvg, Arg: expr.C("v"), Alias: "m"}}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &RemoteE7{Eng: stream.NewEngine("e7coord", vtime.NewScheduler())}
+	var nodes []string
+	for i := 0; i < workers; i++ {
+		wk, err := plan.NewWorker("127.0.0.1:0")
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.workers = append(e.workers, wk)
+		nodes = append(nodes, wk.Addr())
+	}
+	dep, err := plan.CompileStreamOpts(&plan.Built{Root: agg, Limit: -1}, e.Eng,
+		plan.CompileOptions{Parallelism: p, Nodes: nodes})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.Dep = dep
+	la, lok := e.Eng.Input("A")
+	rb, rok := e.Eng.Input("B")
+	if !lok || !rok {
+		e.Close()
+		return nil, fmt.Errorf("experiments: remote E7 scan inputs not registered (A=%v, B=%v)", lok, rok)
+	}
+	e.L, e.R = la, rb
+	return e, nil
+}
+
+// FeedEpoch pushes one shared E7 epoch into the engine inputs.
+func (e *RemoteE7) FeedEpoch(i int, ts vtime.Time) vtime.Time {
+	return feedE7Epoch(e.L, e.R, i, ts)
+}
+
+// Close tears down the deployment and its workers.
+func (e *RemoteE7) Close() {
+	if e.Dep != nil {
+		e.Dep.Close()
+	}
+	for _, w := range e.workers {
+		w.Close()
+	}
+}
+
+// runRemoteJoinPipeline drives n tuples through a RemoteE7 and times it.
+func runRemoteJoinPipeline(win time.Duration, n, p, workers int) time.Duration {
+	e, err := NewRemoteE7(win, p, workers)
+	if err != nil {
+		panic(err)
+	}
+	defer e.Close()
+	start := time.Now()
+	ts := vtime.Time(0)
+	for i := 0; i < n; i += 64 {
+		ts = e.FeedEpoch(i, ts)
+	}
+	e.Dep.Flush()
 	return time.Since(start)
 }
 

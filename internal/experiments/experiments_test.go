@@ -147,8 +147,16 @@ func TestE6IncrementalBeatsRecompute(t *testing.T) {
 func TestE7ThroughputReasonable(t *testing.T) {
 	tab := E7StreamThroughput()
 	for i := range tab.Rows {
-		if tps := num(t, tab, i, 3); tps < 50_000 {
-			t.Fatalf("row %d: throughput %v tuples/sec is implausibly low", i, tps)
+		// Multi-node rows (W=1+) pay gob+loopback-TCP per exchange hop,
+		// which race instrumentation slows by another order of magnitude —
+		// their floor only guards against a wedged pipeline.
+		floor := 50_000.0
+		if strings.Contains(tab.Rows[i][0], "/W=") {
+			floor = 5_000
+		}
+		if tps := num(t, tab, i, 3); tps < floor {
+			t.Fatalf("row %d (%s): throughput %v tuples/sec is implausibly low",
+				i, tab.Rows[i][0], tps)
 		}
 	}
 }

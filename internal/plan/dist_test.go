@@ -1,0 +1,155 @@
+package plan
+
+import (
+	"bufio"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/stream"
+	"aspen/internal/vtime"
+)
+
+// TestDistributedWorkerProcesses is the full multi-PC deployment: two real
+// shardworker processes on loopback TCP host the replicas of sharded
+// deployments, and the differential harness holds their results
+// multiset-identical to serial execution. The workers are built from
+// cmd/shardworker (with -race when this test runs under the detector), so
+// the wire protocol crosses genuine process and codec boundaries.
+func TestDistributedWorkerProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches worker processes")
+	}
+	bin := buildWorker(t)
+	addrs := []string{startWorkerProcess(t, bin), startWorkerProcess(t, bin)}
+	runShardDifferential(t, *fuzzSeed+5000, 10, addrs)
+}
+
+// buildWorker compiles cmd/shardworker into a scratch dir.
+func buildWorker(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "shardworker")
+	args := []string{"build"}
+	if raceEnabled {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, "aspen/cmd/shardworker")
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build shardworker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startWorkerProcess launches one worker on an ephemeral port and parses
+// the advertised address off its stdout.
+func startWorkerProcess(t *testing.T, bin string) string {
+	t.Helper()
+	cmd := exec.Command(bin)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("worker banner: %v", err)
+	}
+	const banner = "shardworker listening "
+	if !strings.HasPrefix(line, banner) {
+		t.Fatalf("unexpected worker banner %q", line)
+	}
+	return strings.TrimSpace(strings.TrimPrefix(line, banner))
+}
+
+// TestCompileShardedDialRefused: an unreachable worker fails the compile
+// cleanly — error out, nothing subscribed, no goroutines left behind.
+func TestCompileShardedDialRefused(t *testing.T) {
+	b := fuzzBuiltPlan(t)
+	eng := stream.NewEngine("refused", vtime.NewScheduler())
+	_, err := CompileStreamOpts(b, eng, CompileOptions{
+		Parallelism: 2, Nodes: []string{"127.0.0.1:1"},
+	})
+	if err == nil {
+		t.Fatal("compile against a refused worker address must fail")
+	}
+	if len(eng.Inputs()) != 0 {
+		t.Fatalf("failed compile left inputs registered: %v", eng.Inputs())
+	}
+}
+
+// TestCompileShardedDeadWorker: a worker that stops between dial and
+// deploy fails the deploy barrier rather than hanging.
+func TestCompileShardedDeadWorker(t *testing.T) {
+	w, err := NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := w.Addr()
+	w.Close()
+
+	b := fuzzBuiltPlan(t)
+	eng := stream.NewEngine("dead", vtime.NewScheduler())
+	done := make(chan error, 1)
+	go func() {
+		_, err := CompileStreamOpts(b, eng, CompileOptions{Parallelism: 2, Nodes: []string{addr}})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("compile against a dead worker must fail")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("compile against a dead worker hung")
+	}
+}
+
+// TestCompileNodesWithoutParallelism: naming workers while compiling
+// serial is a configuration error, not a silently ignored topology.
+func TestCompileNodesWithoutParallelism(t *testing.T) {
+	b := fuzzBuiltPlan(t)
+	eng := stream.NewEngine("misconfig", vtime.NewScheduler())
+	if _, err := CompileStreamOpts(b, eng, CompileOptions{
+		Nodes: []string{"127.0.0.1:7070"},
+	}); err == nil {
+		t.Fatal("Nodes without Parallelism must fail the compile")
+	}
+}
+
+// TestDeployReplicaGarbageSpec: a corrupt wire spec is a deploy error, not
+// a worker panic.
+func TestDeployReplicaGarbageSpec(t *testing.T) {
+	if _, _, err := DeployReplica([]byte{0x01, 0x02, 0x03}, 0,
+		func([]data.Tuple) error { return nil }); err == nil {
+		t.Fatal("garbage spec must fail to deploy")
+	}
+}
+
+// fuzzBuiltPlan generates one deterministic partitionable plan.
+func fuzzBuiltPlan(t *testing.T) *Built {
+	t.Helper()
+	sources := fuzzSources()
+	for seed := int64(1); seed < 20; seed++ {
+		g := &fuzzGen{rng: rand.New(rand.NewSource(seed)), sources: sources}
+		root := g.genPlan()
+		if _, ok := analyzeShard(root); ok {
+			return &Built{Root: root, Limit: -1}
+		}
+	}
+	t.Fatal("no partitionable plan found")
+	return nil
+}

@@ -44,6 +44,9 @@ type Deployment struct {
 	// PartialAggregate stages merged by one serial FinalMerge (the path
 	// that shards global aggregates and non-partitionable grouping keys).
 	TwoPhase bool
+	// Nodes records the worker topology the shards deployed over, as
+	// given in CompileOptions (empty = every replica in-process).
+	Nodes []string
 
 	set *stream.ShardSet
 }
@@ -82,6 +85,19 @@ type CompileOptions struct {
 	// analysis cannot prove partitionable (see shard.go) fall back to
 	// serial compilation silently — check Deployment.Shards.
 	Parallelism int
+	// Nodes distributes the replicas: shard j deploys to the shard worker
+	// at Nodes[j%len(Nodes)] (see plan.NewWorker / cmd/shardworker), with
+	// "" keeping that replica in-process. Empty means all in-process.
+	// Exchange routing, clock ticks, and Flush/Snapshot barriers span the
+	// worker connections, so results stay multiset-identical to serial
+	// execution wherever the replicas live.
+	//
+	// Naming workers without Parallelism >= 2 is a configuration error
+	// (the explicit machine list would be silently ignored). Plans the
+	// shard analysis cannot partition still fall back to serial without
+	// their workers, mirroring the documented Parallelism semantics —
+	// check Deployment.Shards/Nodes when distribution matters.
+	Nodes []string
 }
 
 // CompileStream lowers a logical plan onto a stream engine serially; see
@@ -97,9 +113,13 @@ func CompileStream(b *Built, eng *stream.Engine) (*Deployment, error) {
 // Parallelism > 1 and a partitionable plan, the pipeline is replicated per
 // shard behind Sharder exchanges and folded back through a Merge.
 func CompileStreamOpts(b *Built, eng *stream.Engine, opts CompileOptions) (*Deployment, error) {
+	if len(opts.Nodes) > 0 && opts.Parallelism < 2 {
+		return nil, fmt.Errorf("plan: a Nodes topology (%d workers) requires Parallelism >= 2, got %d",
+			len(opts.Nodes), opts.Parallelism)
+	}
 	if opts.Parallelism > 1 {
 		if strat, ok := analyzeShard(b.Root); ok {
-			return compileSharded(b, eng, opts.Parallelism, strat)
+			return compileSharded(b, eng, opts.Parallelism, opts.Nodes, strat)
 		}
 	}
 	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: 1}
@@ -171,16 +191,23 @@ func attachScan(x *Scan, head stream.Operator, eng *stream.Engine, dep *Deployme
 // split aggregate, each capped by a PartialAggregate; the operators above
 // the split — the serial spine — compile once behind the Merge funnel,
 // fed by the FinalMerge that combines the shards' partial states.
-func compileSharded(b *Built, eng *stream.Engine, p int, strat *shardStrategy) (*Deployment, error) {
-	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: p, TwoPhase: strat.Split != nil}
+//
+// With a node topology, replicas round-robin over the listed shard
+// workers: a remote replica compiles inside its worker process from the
+// shipped wire spec, the Sharder routes its partitions over the worker
+// connection, and the worker funnels results (or partial rows) back
+// through the same connection into the Merge sink.
+func compileSharded(b *Built, eng *stream.Engine, p int, nodes []string, strat *shardStrategy) (*Deployment, error) {
+	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: p,
+		TwoPhase: strat.Split != nil, Nodes: nodes}
 	sink := newDeploymentSink(b, eng, dep)
 	set := stream.NewShardSet(p)
-	heads := map[*Scan][]stream.Operator{}
 
 	parRoot := b.Root
+	var merge *stream.Merge
 	var replicaSink func() (stream.Operator, error)
 	if strat.Split == nil {
-		merge := stream.NewMerge(sink)
+		merge = stream.NewMerge(sink)
 		replicaSink = func() (stream.Operator, error) { return merge, nil }
 	} else {
 		sc := &compiler{
@@ -193,7 +220,7 @@ func compileSharded(b *Built, eng *stream.Engine, p int, strat *shardStrategy) (
 		if err := sc.compile(b.Root, sink); err != nil {
 			return nil, err
 		}
-		merge := stream.NewMerge(sc.finalMerge)
+		merge = stream.NewMerge(sc.finalMerge)
 		split := strat.Split
 		parRoot = split.In
 		replicaSink = func() (stream.Operator, error) {
@@ -201,22 +228,73 @@ func compileSharded(b *Built, eng *stream.Engine, p int, strat *shardStrategy) (
 		}
 	}
 
+	// Place shard j on nodes[j%len(nodes)]; "" keeps it in-process.
+	loc := make([]string, p)
+	anyRemote := false
+	for j := range loc {
+		if len(nodes) > 0 {
+			loc[j] = nodes[j%len(nodes)]
+		}
+		anyRemote = anyRemote || loc[j] != ""
+	}
+	scans := Scans(parRoot)
+	heads := make(map[*Scan][]stream.Operator, len(scans))
+	for _, sc := range scans {
+		heads[sc] = make([]stream.Operator, p)
+	}
+	// Until set.Start, the connections are ours to tear down on failure
+	// (the unstarted set never owns them).
+	conns := map[string]*stream.ShardConn{}
+	fail := func(err error) (*Deployment, error) {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		return nil, err
+	}
+	var spec []byte
+	if anyRemote {
+		var err error
+		if spec, err = encodeReplica(parRoot, strat.Split); err != nil {
+			return nil, err
+		}
+	}
+
 	for j := 0; j < p; j++ {
-		out, err := replicaSink()
-		if err != nil {
-			return nil, err
+		if loc[j] == "" {
+			out, err := replicaSink()
+			if err != nil {
+				return fail(err)
+			}
+			shard := j
+			c := &compiler{
+				track: func(a stream.Advancer) { set.Track(shard, a) },
+				scanHead: func(x *Scan, head stream.Operator) error {
+					heads[x][shard] = head
+					return nil
+				},
+			}
+			if err := c.compile(parRoot, out); err != nil {
+				return fail(err)
+			}
+			continue
 		}
-		shard := j
-		c := &compiler{
-			track: func(a stream.Advancer) { set.Track(shard, a) },
-			scanHead: func(x *Scan, head stream.Operator) error {
-				heads[x] = append(heads[x], head)
-				return nil
-			},
+		conn := conns[loc[j]]
+		if conn == nil {
+			var err error
+			if conn, err = stream.DialShard(loc[j], merge); err != nil {
+				return fail(err)
+			}
+			conns[loc[j]] = conn
 		}
-		if err := c.compile(parRoot, out); err != nil {
-			return nil, err
+		// The worker compiles the replica from the spec; its scan heads
+		// answer to the walk-order names both sides derive from the tree.
+		if err := conn.Deploy(spec, j); err != nil {
+			return fail(err)
 		}
+		for i, sc := range scans {
+			heads[sc][j] = conn.Head(sc.Schema(), j, scanName(i))
+		}
+		set.SetRemote(j, conn)
 	}
 	// Resolve every input and build every exchange before wiring anything
 	// into the live engine: a failure on the second scan must not leave
@@ -227,18 +305,20 @@ func compileSharded(b *Built, eng *stream.Engine, p int, strat *shardStrategy) (
 		sh   *stream.Sharder
 	}
 	var ws []wiring
-	for _, scan := range Scans(parRoot) {
+	for _, scan := range scans {
 		sh, err := newScanSharder(set, heads[scan], scan, strat.Keys[scan])
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		in, err := resolveScanInput(scan, eng)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		ws = append(ws, wiring{scan: scan, in: in, sh: sh})
 	}
 	// Nothing can fail past here: start the workers, then open the taps.
+	// From Start on, the set owns the worker connections (Close barriers
+	// and closes them).
 	set.Start()
 	eng.TrackWindow(set)
 	dep.set = set

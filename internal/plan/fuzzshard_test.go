@@ -27,8 +27,9 @@ import (
 // aggregation reassociates additions, which must not introduce rounding
 // differences the comparison would flag.
 var (
-	fuzzSeed = flag.Int64("fuzzshard.seed", 1, "base PRNG seed for the shard differential harness")
-	fuzzN    = flag.Int("fuzzshard.n", 40, "random plans per shard differential run")
+	fuzzSeed  = flag.Int64("fuzzshard.seed", 1, "base PRNG seed for the shard differential harness")
+	fuzzN     = flag.Int("fuzzshard.n", 40, "random plans per shard differential run")
+	fuzzNodes = flag.Int("fuzzshard.nodes", 2, "loopback shard workers for the multi-node differential mode (0 disables)")
 )
 
 // fuzzSource is one generated stream source.
@@ -253,10 +254,12 @@ func replay(t *testing.T, dep *Deployment, eng *stream.Engine, evs []fuzzEvent) 
 }
 
 // runShardDifferential generates nPlans random plans from seed and checks
-// sharded P∈{2,4} against serial on each. It reports how many plans
-// actually sharded / two-phased so a regression to pervasive serial
-// fallback fails loudly rather than passing vacuously.
-func runShardDifferential(t *testing.T, seed int64, nPlans int) {
+// sharded P∈{2,4} against serial on each. With a node list, the sharded
+// deployments distribute their replicas over those shard workers — the
+// multi-node differential mode. It reports how many plans actually
+// sharded / two-phased so a regression to pervasive serial fallback fails
+// loudly rather than passing vacuously.
+func runShardDifferential(t *testing.T, seed int64, nPlans int, nodes []string) {
 	sources := fuzzSources()
 	sharded, twoPhase := 0, 0
 	for pi := 0; pi < nPlans; pi++ {
@@ -268,7 +271,11 @@ func runShardDifferential(t *testing.T, seed int64, nPlans int) {
 
 		deploy := func(par int) (*Deployment, *stream.Engine) {
 			eng := stream.NewEngine(fmt.Sprintf("fz%d-p%d", pi, par), vtime.NewScheduler())
-			dep, err := CompileStreamOpts(b, eng, CompileOptions{Parallelism: par})
+			opts := CompileOptions{Parallelism: par}
+			if par > 0 {
+				opts.Nodes = nodes
+			}
+			dep, err := CompileStreamOpts(b, eng, opts)
 			if err != nil {
 				t.Fatalf("seed %d plan %d: compile P=%d: %v\nplan: %s", seed, pi, par, err, root)
 			}
@@ -312,7 +319,7 @@ func runShardDifferential(t *testing.T, seed int64, nPlans int) {
 // TestShardDifferentialRandomPlans is the main randomized differential
 // run; tune with -fuzzshard.seed / -fuzzshard.n.
 func TestShardDifferentialRandomPlans(t *testing.T) {
-	runShardDifferential(t, *fuzzSeed, *fuzzN)
+	runShardDifferential(t, *fuzzSeed, *fuzzN, nil)
 }
 
 // TestShardDifferentialForcedCollisions reruns a slice of the differential
@@ -326,5 +333,64 @@ func TestShardDifferentialForcedCollisions(t *testing.T) {
 	if n < 5 {
 		n = 5
 	}
-	runShardDifferential(t, *fuzzSeed+1000, n)
+	runShardDifferential(t, *fuzzSeed+1000, n, nil)
+}
+
+// startWorkers launches n in-process shard workers on loopback TCP and
+// returns their addresses. In-process workers keep the whole protocol —
+// coordinator and replicas — under one race detector and one test hash
+// mask; TestDistributedWorkerProcesses covers real worker processes.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		w, err := NewWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+	}
+	return addrs
+}
+
+// TestShardDifferentialMultiNode is the multi-node differential mode:
+// random plans deploy their shard replicas across -fuzzshard.nodes
+// loopback workers and must stay multiset-identical to serial execution.
+func TestShardDifferentialMultiNode(t *testing.T) {
+	if *fuzzNodes <= 0 {
+		t.Skip("multi-node mode disabled (-fuzzshard.nodes=0)")
+	}
+	n := *fuzzN / 2
+	if n < 10 {
+		n = 10
+	}
+	runShardDifferential(t, *fuzzSeed+2000, n, startWorkers(t, *fuzzNodes))
+}
+
+// TestShardDifferentialMultiNodeForcedCollisions is the multi-node mode
+// under the forced collision mask; in-process workers share the mask, so
+// the remote replicas' bucket-verification paths are exercised too.
+func TestShardDifferentialMultiNodeForcedCollisions(t *testing.T) {
+	if *fuzzNodes <= 0 {
+		t.Skip("multi-node mode disabled (-fuzzshard.nodes=0)")
+	}
+	old := stream.SetTestHashMask(0)
+	t.Cleanup(func() { stream.SetTestHashMask(old) })
+	n := *fuzzN / 4
+	if n < 10 {
+		n = 10 // enough plans that the two-phase guard cannot trip vacuously
+	}
+	runShardDifferential(t, *fuzzSeed+3000, n, startWorkers(t, *fuzzNodes))
+}
+
+// TestShardDifferentialMixedLocalRemote pins one replica in-process and
+// the rest on a worker ("" entries in the topology mix local and remote
+// shards in one deployment).
+func TestShardDifferentialMixedLocalRemote(t *testing.T) {
+	if *fuzzNodes <= 0 {
+		t.Skip("multi-node mode disabled (-fuzzshard.nodes=0)")
+	}
+	addrs := startWorkers(t, 1)
+	runShardDifferential(t, *fuzzSeed+4000, 10, []string{"", addrs[0]})
 }

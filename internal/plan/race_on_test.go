@@ -1,0 +1,7 @@
+//go:build race
+
+package plan
+
+// raceEnabled mirrors the race detector into the worker binaries the
+// distributed process test builds, so both sides of the wire run checked.
+const raceEnabled = true

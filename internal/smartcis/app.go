@@ -55,6 +55,10 @@ type Options struct {
 	// Parallelism shards deployed stream plans across this many pipeline
 	// replicas (default 1 = serial).
 	Parallelism int
+	// Nodes lists shard-worker addresses (cmd/shardworker) to spread the
+	// replicas over — the paper's multi-PC deployment; "" entries keep a
+	// replica in-process. Empty runs everything in one process.
+	Nodes []string
 }
 
 // App is the running SmartCIS deployment.
@@ -135,6 +139,7 @@ func New(opts Options) (*App, error) {
 		// paths only revisit corridors.
 		RecursionDepth: len(b.Points()) / 2,
 		Parallelism:    opts.Parallelism,
+		Nodes:          opts.Nodes,
 	})
 	if err := app.registerSources(opts); err != nil {
 		return nil, err

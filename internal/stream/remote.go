@@ -1,0 +1,439 @@
+package stream
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/vtime"
+)
+
+// This file is the multi-node half of the partition-parallel layer: a shard
+// replica of a deployed plan may live in another engine process (another PC
+// of the paper's architecture) behind a ShardConn instead of an in-process
+// worker goroutine. One TCP connection per (deployment, worker) carries
+// everything both ways — deploy specs, data batches, clock ticks, and
+// flush/close barriers outward; result batches and acks back — so FIFO
+// ordering on the connection gives the same guarantees the in-process
+// queues do: a barrier ack arrives behind every result its data produced.
+
+// remoteInflight bounds un-acked data/tick frames per connection: producers
+// block when a worker falls this far behind (backpressure instead of
+// unbounded kernel socket buffering).
+const remoteInflight = 32
+
+// remoteStallTimeout bounds every wait on a worker that keeps its TCP
+// session alive but stops responding: a peer that was never a shard worker
+// (a mistyped address, a plain engine Server — both drop shard frames
+// without acking), a SIGSTOPped worker process, or a blackholed link the
+// kernel still ACKs. Credit waits, socket writes, and the deploy/flush/
+// close barriers all mark the link broken (sticky) after it, so the
+// coordinator's tick loop and Close can stall at most once per connection
+// instead of deadlocking. The credit window bounds what a flush waits on
+// (≤ remoteInflight frames), so a live worker has orders-of-magnitude
+// headroom. Variable for tests.
+var remoteStallTimeout = 30 * time.Second
+
+// ResultSender ships one batch of replica output tuples back to the
+// coordinator. The batch slice is only valid during the call.
+type ResultSender func(ts []data.Tuple) error
+
+// DeployFunc builds one shard replica from an opaque spec (encoded by the
+// plan layer). It returns the replica's entry points keyed by the
+// coordinator-chosen scan name, and the replica's time-driven operators
+// (windows), which tick frames advance on the connection's own goroutine.
+type DeployFunc func(spec []byte, shard int, send ResultSender) (heads map[string]Operator, advs []Advancer, err error)
+
+// headKey names one replica entry point on a connection hosting several
+// shards: the coordinator and worker derive it identically.
+func headKey(shard int, name string) string { return fmt.Sprintf("%d/%s", shard, name) }
+
+// ShardWorker hosts remote shard replicas: it accepts coordinator
+// connections and serves the shard frame protocol — deploy builds replicas
+// through the DeployFunc, data frames push into replica heads, tick frames
+// advance replica windows, flush/close frames ack as barriers. All replica
+// processing for one connection runs on that connection's decode goroutine,
+// preserving the single-writer discipline replica operators rely on.
+type ShardWorker struct {
+	*connServer
+	deploy DeployFunc
+}
+
+// NewShardWorker serves shard replicas on addr (use "127.0.0.1:0" for an
+// ephemeral port).
+func NewShardWorker(addr string, deploy DeployFunc) (*ShardWorker, error) {
+	w := &ShardWorker{deploy: deploy}
+	cs, err := newConnServer(addr, w.serveConn)
+	if err != nil {
+		return nil, fmt.Errorf("stream: shard worker: %w", err)
+	}
+	w.connServer = cs
+	return w, nil
+}
+
+// serveConn drives one coordinator link: decode a frame, process it, ack
+// it. Processing is synchronous, so by the time a barrier frame acks, every
+// result its predecessors produced has already been encoded onto the
+// connection.
+func (w *ShardWorker) serveConn(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	// All writes — result batches emitted while processing a frame, and the
+	// ack that follows — happen on this goroutine, so the encoder needs no
+	// lock and the wire order (results before their barrier's ack) is a
+	// structural guarantee.
+	writeFrame := func(f frame) error { return enc.Encode(f) }
+	send := ResultSender(func(ts []data.Tuple) error {
+		if len(ts) == 0 {
+			return nil
+		}
+		return writeFrame(frame{Kind: frameResult, Batch: ts})
+	})
+
+	heads := map[string]Operator{}
+	var advs []Advancer
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			// EOF, reset, or a malformed peer: the connection's replicas die
+			// with it; other connections keep serving.
+			return
+		}
+		switch f.Kind {
+		case frameDeploy:
+			h, a, err := w.deploy(f.Spec, f.Shard, send)
+			ack := frame{Kind: frameAck, Seq: f.Seq}
+			if err != nil {
+				ack.Err = err.Error()
+			} else {
+				for name, op := range h {
+					heads[headKey(f.Shard, name)] = op
+				}
+				advs = append(advs, a...)
+			}
+			if writeFrame(ack) != nil {
+				return
+			}
+		case frameData:
+			// Unknown heads drop silently, mirroring Server: the coordinator
+			// validated the deployment before opening the taps.
+			if op, ok := heads[f.Input]; ok {
+				if f.Batch != nil {
+					PushBatch(op, f.Batch)
+				} else {
+					op.Push(f.Tuple)
+				}
+			}
+			if writeFrame(frame{Kind: frameAck}) != nil {
+				return
+			}
+		case frameTick:
+			for _, a := range advs {
+				a.Advance(f.Now)
+			}
+			if writeFrame(frame{Kind: frameAck}) != nil {
+				return
+			}
+		case frameFlush:
+			if writeFrame(frame{Kind: frameAck, Seq: f.Seq}) != nil {
+				return
+			}
+		case frameClose:
+			// Drop the replicas; the coordinator closes the connection after
+			// the ack.
+			heads = map[string]Operator{}
+			advs = nil
+			if writeFrame(frame{Kind: frameAck, Seq: f.Seq}) != nil {
+				return
+			}
+		}
+	}
+}
+
+// ShardConn is the coordinator side of one deployment's link to a
+// ShardWorker. Data batches and ticks consume bounded in-flight credits
+// (acks release them); deploy, flush, and close are sequence-matched
+// barriers. Result batches decoded by the reader goroutine push into the
+// deployment's merge sink, so per-connection FIFO makes a flush ack a
+// result-drain barrier too.
+//
+// A transport failure is sticky: every later send drops (the deployment's
+// result simply stops updating from this worker, matching the engine's
+// lossy-link convention) and every waiting barrier fails fast.
+type ShardConn struct {
+	addr string
+	conn net.Conn
+	enc  *gob.Encoder
+	wmu  sync.Mutex // serializes frame encodes across producers
+	sink Operator   // result funnel (the deployment's Merge)
+
+	credits chan struct{}
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	seq    uint64
+	waits  map[uint64]chan error
+	err    error
+	done   chan struct{} // closed once the link is broken
+	closed bool
+}
+
+// DialShard connects a deployment to a ShardWorker; decoded result batches
+// push into sink.
+func DialShard(addr string, sink Operator) (*ShardConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial shard worker %s: %w", addr, err)
+	}
+	c := &ShardConn{
+		addr:    addr,
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		sink:    sink,
+		credits: make(chan struct{}, remoteInflight),
+		waits:   map[uint64]chan error{},
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < remoteInflight; i++ {
+		c.credits <- struct{}{}
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Addr returns the worker address this connection serves.
+func (c *ShardConn) Addr() string { return c.addr }
+
+// Err reports the sticky transport failure, if any.
+func (c *ShardConn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// readLoop drains worker frames: results into the sink, credit acks back
+// into the send budget, barrier acks to their waiters.
+func (c *ShardConn) readLoop() {
+	defer c.wg.Done()
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			c.fail(fmt.Errorf("stream: shard link %s: %w", c.addr, err))
+			return
+		}
+		switch f.Kind {
+		case frameResult:
+			PushBatch(c.sink, f.Batch)
+		case frameAck:
+			if f.Seq == 0 {
+				select {
+				case c.credits <- struct{}{}:
+				default: // worker double-ack: never block the reader
+				}
+				continue
+			}
+			var err error
+			if f.Err != "" {
+				err = fmt.Errorf("stream: shard worker %s: %s", c.addr, f.Err)
+			}
+			c.mu.Lock()
+			ch, ok := c.waits[f.Seq]
+			delete(c.waits, f.Seq)
+			c.mu.Unlock()
+			if ok {
+				ch <- err
+			}
+		}
+	}
+}
+
+// fail records the first transport error, wakes every barrier waiter, and
+// unblocks all senders.
+func (c *ShardConn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+	waits := c.waits
+	c.waits = map[uint64]chan error{}
+	c.mu.Unlock()
+	for _, ch := range waits {
+		ch <- err
+	}
+}
+
+// write encodes one frame under the write lock. The write deadline keeps
+// a stalled peer with a full socket buffer from blocking the sender
+// forever; a deadline miss breaks the link like any other write error.
+func (c *ShardConn) write(f frame) error {
+	if err := c.Err(); err != nil {
+		return err // broken link: drop instead of touching the dead socket
+	}
+	c.wmu.Lock()
+	c.conn.SetWriteDeadline(time.Now().Add(remoteStallTimeout))
+	err := c.enc.Encode(f)
+	c.wmu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("stream: shard link %s: %w", c.addr, err)
+		c.fail(err)
+	}
+	return err
+}
+
+// sendCredit encodes a credit-consuming frame (data or tick), blocking
+// while remoteInflight frames are un-acked. A worker that stops acking
+// entirely fails the link after remoteStallTimeout instead of wedging the
+// sender (which may be the engine tick loop) under the set's lock. The
+// uncontended path takes no timer (and allocates nothing).
+func (c *ShardConn) sendCredit(f frame) error {
+	// Sticky failure: drop immediately, per the documented contract —
+	// without this, a send could race the closed done channel, win a
+	// leftover credit, and block on the dead socket's write deadline.
+	if err := c.Err(); err != nil {
+		return err
+	}
+	select {
+	case <-c.credits:
+	case <-c.done:
+		return c.Err()
+	default:
+		// Credit window exhausted: wait, but never forever.
+		stall := time.NewTimer(remoteStallTimeout)
+		select {
+		case <-c.credits:
+			stall.Stop()
+		case <-c.done:
+			stall.Stop()
+			return c.Err()
+		case <-stall.C:
+			err := fmt.Errorf("stream: shard link %s: no ack in %s (worker stalled?)",
+				c.addr, remoteStallTimeout)
+			c.fail(err)
+			return err
+		}
+	}
+	return c.write(f)
+}
+
+// barrier encodes a sequence-matched frame and waits for its ack, marking
+// the link broken if none comes within the stall timeout.
+func (c *ShardConn) barrier(f frame) error {
+	ch := make(chan error, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.seq++
+	f.Seq = c.seq
+	c.waits[f.Seq] = ch
+	c.mu.Unlock()
+	if err := c.write(f); err != nil {
+		return err
+	}
+	stall := time.NewTimer(remoteStallTimeout)
+	defer stall.Stop()
+	select {
+	case err := <-ch:
+		return err
+	case <-stall.C:
+		c.fail(fmt.Errorf("stream: shard link %s: no barrier ack in %s (worker stalled, or not a shard worker?)",
+			c.addr, remoteStallTimeout))
+		// fail delivered the error to every registered waiter — but the
+		// real ack may have raced the timeout and buffered nil into ch
+		// first. The link is broken either way now, so never report
+		// success here.
+		if err := <-ch; err != nil {
+			return err
+		}
+		return c.Err()
+	}
+}
+
+// Deploy ships a replica spec for the given shard and waits for the
+// worker's compile to succeed or fail.
+func (c *ShardConn) Deploy(spec []byte, shard int) error {
+	return c.barrier(frame{Kind: frameDeploy, Spec: spec, Shard: shard})
+}
+
+// SendBatch ships one data batch to the named replica head of a shard.
+// After it returns, the batch buffer may be reused: gob has copied the
+// tuples onto the wire.
+func (c *ShardConn) SendBatch(shard int, name string, ts []data.Tuple) error {
+	return c.sendBatchKey(headKey(shard, name), ts)
+}
+
+// sendBatchKey is SendBatch with the wire key precomposed (RemoteHead
+// caches it, keeping the exchange's per-batch path free of formatting
+// allocations).
+func (c *ShardConn) sendBatchKey(key string, ts []data.Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	return c.sendCredit(frame{Kind: frameData, Input: key, Batch: ts})
+}
+
+// Tick advances every replica window deployed over this connection.
+func (c *ShardConn) Tick(now vtime.Time) error {
+	return c.sendCredit(frame{Kind: frameTick, Now: now})
+}
+
+// Flush barriers the connection: when it returns nil, every batch and tick
+// sent before the call has been processed by the worker and every result it
+// produced has been pushed into the sink.
+func (c *ShardConn) Flush() error {
+	return c.barrier(frame{Kind: frameFlush})
+}
+
+// Close barriers outstanding work, tears the replicas down on the worker,
+// and closes the connection. Safe to call on a broken link. Idempotent.
+func (c *ShardConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.barrier(frame{Kind: frameClose})
+	c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// RemoteHead is the coordinator-side stand-in for a replica entry point
+// hosted on a ShardWorker: pushes ship to the worker-registered head it
+// names (the wire key is precomposed once here). The ShardSet routes
+// batches through it without a local queue.
+type RemoteHead struct {
+	schema *data.Schema
+	conn   *ShardConn
+	key    string
+}
+
+// Head builds the stand-in for the named entry point of a shard deployed
+// over this connection.
+func (c *ShardConn) Head(schema *data.Schema, shard int, name string) *RemoteHead {
+	return &RemoteHead{schema: schema, conn: c, key: headKey(shard, name)}
+}
+
+// Schema implements Operator.
+func (h *RemoteHead) Schema() *data.Schema { return h.schema }
+
+// Push implements Operator: the tuple ships as a singleton batch.
+func (h *RemoteHead) Push(t data.Tuple) {
+	batch := [1]data.Tuple{t}
+	_ = h.conn.sendBatchKey(h.key, batch[:])
+}
+
+// PushBatch implements BatchOperator.
+func (h *RemoteHead) PushBatch(ts []data.Tuple) {
+	_ = h.conn.sendBatchKey(h.key, ts)
+}

@@ -1,0 +1,375 @@
+package stream
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/vtime"
+)
+
+// sendSink forwards every tuple straight back through the worker's
+// ResultSender — the minimal replica pipeline for protocol tests.
+type sendSink struct {
+	schema *data.Schema
+	send   ResultSender
+}
+
+func (s *sendSink) Schema() *data.Schema { return s.schema }
+
+func (s *sendSink) Push(t data.Tuple) {
+	batch := [1]data.Tuple{t}
+	_ = s.send(batch[:])
+}
+
+func (s *sendSink) PushBatch(ts []data.Tuple) { _ = s.send(ts) }
+
+// echoDeploy builds a windowed echo replica: tuples flow through a 2m time
+// window back to the coordinator, so expiry deletions exercise the tick
+// path. A spec of "fail" rejects the deploy.
+func echoDeploy(spec []byte, shard int, send ResultSender) (map[string]Operator, []Advancer, error) {
+	if string(spec) == "fail" {
+		return nil, nil, errors.New("replica spec rejected")
+	}
+	win := NewTimeWindow(&sendSink{schema: tempSchema(), send: send}, 2*time.Minute, 0)
+	return map[string]Operator{"s0": win}, []Advancer{win}, nil
+}
+
+func startEchoWorker(t *testing.T) *ShardWorker {
+	t.Helper()
+	w, err := NewShardWorker("127.0.0.1:0", echoDeploy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// TestShardConnRoundtrip drives the full frame protocol against a worker:
+// deploy, batch data, flush barrier (results drained on return), tick
+// expiry, close barrier.
+func TestShardConnRoundtrip(t *testing.T) {
+	w := startEchoWorker(t)
+	col := NewCollector(tempSchema())
+	c, err := DialShard(w.Addr(), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Addr() != w.Addr() {
+		t.Fatalf("conn addr %s, want %s", c.Addr(), w.Addr())
+	}
+	if err := c.Deploy(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := []data.Tuple{temp(1, "L1", 20), temp(2, "L2", 21)}
+	if err := c.SendBatch(0, "s0", batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch(0, "s0", nil); err != nil {
+		t.Fatal("empty batch must be a no-op")
+	}
+	// Flush is a result-drain barrier: no waitFor needed.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 2 {
+		t.Fatalf("after flush: %d results, want 2", col.Len())
+	}
+	// A singleton push through the RemoteHead stand-in.
+	rh := c.Head(tempSchema(), 0, "s0")
+	if rh.Schema() != tempSchema() && rh.Schema().Arity() != 2 {
+		t.Fatal("remote head schema")
+	}
+	rh.Push(temp(3, "L3", 22))
+	// Batches to an unknown head drop silently, like Server.
+	if err := c.SendBatch(0, "nowhere", batch); err != nil {
+		t.Fatal(err)
+	}
+	// Advancing past the window retracts all three live tuples.
+	if err := c.Tick(vtime.Time(10 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := col.Snapshot()
+	if len(got) != 6 {
+		t.Fatalf("after expiry: %d results, want 6 (3 inserts + 3 deletes)", len(got))
+	}
+	dels := 0
+	for _, tu := range got {
+		if tu.Op == data.Delete {
+			dels++
+		}
+	}
+	if dels != 3 {
+		t.Fatalf("expiry deletes = %d, want 3", dels)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+}
+
+// TestShardConnDeployError: a worker-side compile failure travels back as
+// the Deploy error.
+func TestShardConnDeployError(t *testing.T) {
+	w := startEchoWorker(t)
+	c, err := DialShard(w.Addr(), NewCollector(tempSchema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Deploy([]byte("fail"), 0); err == nil {
+		t.Fatal("rejected spec must fail the deploy barrier")
+	}
+	// The connection survives a failed deploy.
+	if err := c.Deploy(nil, 0); err != nil {
+		t.Fatalf("deploy after failed deploy: %v", err)
+	}
+}
+
+// TestShardSetMixedLocalRemote runs one ShardSet with shard 0 in-process
+// and shard 1 behind a worker: every routed tuple must reach the shared
+// funnel exactly once, ticks must expire both replicas' windows, and
+// Close must tear both down.
+func TestShardSetMixedLocalRemote(t *testing.T) {
+	w := startEchoWorker(t)
+	mat := NewMaterialize(tempSchema())
+	merge := NewMerge(mat)
+
+	c, err := DialShard(w.Addr(), merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	set := NewShardSet(2)
+	// Local replica mirrors the worker's echo pipeline.
+	lwin := NewTimeWindow(merge, 2*time.Minute, 0)
+	set.Track(0, lwin)
+	set.SetRemote(1, c)
+	set.SetRemote(1, c) // idempotent re-registration keeps one unique conn
+	if set.Shards() != 2 {
+		t.Fatalf("Shards = %d, want 2", set.Shards())
+	}
+	heads := []Operator{lwin, c.Head(tempSchema(), 1, "s0")}
+	sh, err := NewSharder(set, heads, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Schema().Arity() != 2 {
+		t.Fatal("sharder schema")
+	}
+	set.Start()
+
+	const n = 50
+	batch := make([]data.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		batch = append(batch, temp(int64(i+1), fmt.Sprintf("L%d", i%7), float64(i)))
+	}
+	sh.PushBatch(batch)
+	set.Flush()
+	if mat.Len() != n {
+		t.Fatalf("merged rows = %d, want %d", mat.Len(), n)
+	}
+	// Ticks fan to the local queue and the worker connection alike.
+	set.Advance(vtime.Time(time.Hour))
+	set.Flush()
+	if mat.Len() != 0 {
+		t.Fatalf("after expiry: %d live rows, want 0", mat.Len())
+	}
+
+	set.Close()
+	set.Close() // idempotent with a remote shard
+	// Drop-after-close: routing into a closed set must not panic or block,
+	// for local and remote shards alike.
+	sh.PushBatch([]data.Tuple{temp(1, "L1", 1), temp(2, "L2", 2)})
+	set.Advance(vtime.Time(2 * time.Hour))
+	set.Flush()
+	if mat.Len() != 0 {
+		t.Fatalf("closed set still updated the sink: %d rows", mat.Len())
+	}
+}
+
+// TestShardConnDeploySilentPeerTimesOut: a peer that accepts the
+// connection but never acks shard frames — a plain engine Server, or any
+// mistyped address — fails the deploy within the ack timeout and marks the
+// link broken, instead of hanging the compile forever.
+func TestShardConnDeploySilentPeerTimesOut(t *testing.T) {
+	old := remoteStallTimeout
+	remoteStallTimeout = 100 * time.Millisecond
+	t.Cleanup(func() { remoteStallTimeout = old })
+
+	// A plain engine transport server: accepts, decodes, drops shard frames.
+	srv, err := NewServer(NewEngine("plain", vtime.NewScheduler()), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialShard(srv.Addr(), NewCollector(tempSchema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Deploy(nil, 0) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("deploy against a silent peer must fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deploy against a silent peer hung")
+	}
+	if c.Err() == nil {
+		t.Fatal("timed-out deploy must mark the link broken")
+	}
+}
+
+// TestShardConnStalledWorker: a worker that deploys fine but then stops
+// acking (SIGSTOPped process, blackholed-but-ACKed link) exhausts the
+// credit window; the sender must fail the link after the stall timeout
+// instead of wedging forever (it may be the engine tick loop under the
+// shard set's lock), and later barriers must fail fast.
+func TestShardConnStalledWorker(t *testing.T) {
+	old := remoteStallTimeout
+	remoteStallTimeout = 100 * time.Millisecond
+	t.Cleanup(func() { remoteStallTimeout = old })
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := gob.NewDecoder(conn)
+		enc := gob.NewEncoder(conn)
+		for {
+			var f frame
+			if err := dec.Decode(&f); err != nil {
+				return
+			}
+			if f.Kind == frameDeploy {
+				enc.Encode(frame{Kind: frameAck, Seq: f.Seq})
+			}
+			// Data frames are read but never acked: the worker "stalls".
+		}
+	}()
+
+	c, err := DialShard(l.Addr().String(), NewCollector(tempSchema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// More batches than the credit window: the sender must hit the
+		// stall timeout, not block forever.
+		for i := 0; i < remoteInflight+2; i++ {
+			if c.SendBatch(0, "s0", []data.Tuple{temp(int64(i+1), "L1", 1)}) != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender wedged on a stalled worker")
+	}
+	if c.Err() == nil {
+		t.Fatal("stalled worker must mark the link broken")
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush after a stall must fail")
+	}
+	// Post-failure sends drop immediately — even with leftover credits —
+	// instead of touching the dead socket.
+	start := time.Now()
+	if err := c.SendBatch(0, "s0", []data.Tuple{temp(99, "L9", 9)}); err == nil {
+		t.Fatal("send on a broken link must error")
+	}
+	if time.Since(start) > remoteStallTimeout {
+		t.Fatal("send on a broken link blocked instead of dropping")
+	}
+}
+
+// TestShardSetAllRemoteTwoWorkers runs both shards of a set on two
+// distinct workers: batch routing through RemoteHead.PushBatch, the
+// multi-connection tick fan-out, and the concurrent barrier/close paths.
+func TestShardSetAllRemoteTwoWorkers(t *testing.T) {
+	mat := NewMaterialize(tempSchema())
+	merge := NewMerge(mat)
+	set := NewShardSet(2)
+	heads := make([]Operator, 2)
+	for j := 0; j < 2; j++ {
+		w := startEchoWorker(t)
+		c, err := DialShard(w.Addr(), merge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Deploy(nil, j); err != nil {
+			t.Fatal(err)
+		}
+		set.SetRemote(j, c)
+		heads[j] = c.Head(tempSchema(), j, "s0")
+	}
+	sh, err := NewSharder(set, heads, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Start()
+
+	const n = 40
+	batch := make([]data.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		batch = append(batch, temp(int64(i+1), fmt.Sprintf("L%d", i%5), float64(i)))
+	}
+	sh.PushBatch(batch)
+	set.Flush()
+	if mat.Len() != n {
+		t.Fatalf("merged rows = %d, want %d", mat.Len(), n)
+	}
+	set.Advance(vtime.Time(time.Hour)) // multi-conn tick fan-out
+	set.Flush()
+	if mat.Len() != 0 {
+		t.Fatalf("after expiry: %d live rows, want 0", mat.Len())
+	}
+	set.Close()
+}
+
+// TestShardSetTrackRemotePanics: replica windows of a remote shard are
+// tracked by its worker, never locally.
+func TestShardSetTrackRemotePanics(t *testing.T) {
+	w := startEchoWorker(t)
+	c, err := DialShard(w.Addr(), NewCollector(tempSchema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	set := NewShardSet(2)
+	set.SetRemote(1, c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Track on a remote shard must panic")
+		}
+	}()
+	set.Track(1, NewNowWindow(NewCollector(tempSchema())))
+}

@@ -66,6 +66,12 @@ type ShardSet struct {
 	free   chan []data.Tuple
 	advs   [][]Advancer
 	wg     sync.WaitGroup
+	// conns[j] non-nil marks shard j remote: its replica lives on a
+	// ShardWorker behind that connection, so batches route over the wire
+	// instead of through queue j. uconns holds each distinct connection
+	// once, for tick fan-out and barriers.
+	conns  []*ShardConn
+	uconns []*ShardConn
 	// mu serializes in-flight queue sends against Close: senders hold it
 	// for reading (per batch, not per tuple), Close for writing.
 	mu      sync.RWMutex
@@ -83,6 +89,7 @@ func NewShardSet(p int) *ShardSet {
 		queues: make([]chan shardMsg, p),
 		free:   make(chan []data.Tuple, p*shardQueueCap),
 		advs:   make([][]Advancer, p),
+		conns:  make([]*ShardConn, p),
 	}
 	for j := range s.queues {
 		s.queues[j] = make(chan shardMsg, shardQueueCap)
@@ -93,6 +100,23 @@ func NewShardSet(p int) *ShardSet {
 // Shards returns the partition width P.
 func (s *ShardSet) Shards() int { return s.p }
 
+// SetRemote marks shard j as living behind a ShardWorker connection (its
+// replica was deployed there; the Sharder's head for j is a RemoteHead on
+// the same connection). Must be called before Start. The set takes
+// ownership of the connection: Close barriers and closes it.
+func (s *ShardSet) SetRemote(j int, c *ShardConn) {
+	if s.started {
+		panic("stream: ShardSet.SetRemote after Start")
+	}
+	s.conns[j] = c
+	for _, u := range s.uconns {
+		if u == c {
+			return
+		}
+	}
+	s.uconns = append(s.uconns, c)
+}
+
 // Track registers a time-driven operator (a replica's window) with its
 // shard; Advance ticks reach it in-order with that shard's data. Must be
 // called before Start.
@@ -100,18 +124,25 @@ func (s *ShardSet) Track(shard int, a Advancer) {
 	if s.started {
 		panic("stream: ShardSet.Track after Start")
 	}
+	if s.conns[shard] != nil {
+		panic("stream: ShardSet.Track on a remote shard (its worker tracks replica windows)")
+	}
 	s.advs[shard] = append(s.advs[shard], a)
 }
 
-// Start launches the shard workers. Call after all Track registrations and
-// before any Sharder of the set receives data.
+// Start launches the local shard workers (remote shards are driven by
+// their ShardWorker connection). Call after all Track/SetRemote
+// registrations and before any Sharder of the set receives data.
 func (s *ShardSet) Start() {
 	if s.started {
 		return
 	}
 	s.started = true
-	s.wg.Add(s.p)
 	for j := 0; j < s.p; j++ {
+		if s.conns[j] != nil {
+			continue
+		}
+		s.wg.Add(1)
 		go s.worker(j)
 	}
 }
@@ -125,11 +156,8 @@ func (s *ShardSet) worker(j int) {
 		switch m.kind {
 		case msgData:
 			PushBatch(m.head, m.batch)
-			clear(m.batch) // drop tuple references; the pipeline owns them now
-			select {
-			case s.free <- m.batch[:0]:
-			default: // freelist full: let GC take the buffer
-			}
+			// drop tuple references (the pipeline owns them now) and recycle
+			s.recycle(m.batch)
 		case msgTick:
 			for _, a := range s.advs[j] {
 				a.Advance(m.now)
@@ -150,17 +178,37 @@ func (s *ShardSet) buf() []data.Tuple {
 	}
 }
 
-// send enqueues one data batch for shard j. After Close the batch is
-// dropped but its buffer still recycles, so a still-subscribed Sharder on
-// a live input keeps the push path allocation-free.
+// send enqueues one data batch for shard j — through queue j for a local
+// shard, over the worker connection for a remote one (the encode copies the
+// tuples, so the buffer recycles immediately and the push path stays
+// allocation-free on the coordinator). After Close the batch is dropped but
+// its buffer still recycles, so a still-subscribed Sharder on a live input
+// keeps the push path allocation-free.
 func (s *ShardSet) send(j int, head Operator, batch []data.Tuple) {
 	s.mu.RLock()
-	if !s.closed {
-		s.queues[j] <- shardMsg{kind: msgData, head: head, batch: batch}
+	if s.closed {
 		s.mu.RUnlock()
+		s.recycle(batch)
 		return
 	}
+	if c := s.conns[j]; c != nil {
+		// Ship outside the lock: a stalled worker then blocks only this
+		// producer, never a pending Close (and through the writer-pending
+		// RWMutex, every other producer). A send racing Close lands on a
+		// failed/closing link and drops there (sticky), and a dead link
+		// drops the batch the same way — the shard's contribution stops
+		// updating, like any lossy link.
+		s.mu.RUnlock()
+		_ = c.sendBatchKey(head.(*RemoteHead).key, batch)
+		s.recycle(batch)
+		return
+	}
+	s.queues[j] <- shardMsg{kind: msgData, head: head, batch: batch}
 	s.mu.RUnlock()
+}
+
+// recycle clears a drained batch buffer back into the freelist.
+func (s *ShardSet) recycle(batch []data.Tuple) {
 	clear(batch)
 	select {
 	case s.free <- batch[:0]:
@@ -168,18 +216,48 @@ func (s *ShardSet) send(j int, head Operator, batch []data.Tuple) {
 	}
 }
 
-// Advance implements Advancer by fanning the tick to every shard queue, so
-// replica windows expire in-order with their shard's data stream. The
-// engine tick loop returns immediately; Flush waits for the expiry work.
-// Ticks after Close are dropped (the engine has no untrack).
+// Advance implements Advancer by fanning the tick to every local shard
+// queue and once to every worker connection, so replica windows expire
+// in-order with their shard's data stream wherever the replica lives. The
+// engine tick loop returns promptly (remote ticks can briefly block on
+// backpressure); Flush waits for the expiry work. Ticks after Close are
+// dropped (the engine has no untrack).
+//
+// Worker connections tick concurrently, outside the set's lock: one
+// stalled worker costs the engine tick loop at most one stall timeout
+// (once — the link error is sticky), not one per connection, and a
+// pending Close is never starved of the write lock. The wait keeps
+// successive ticks ordered per connection; cross-connection order is
+// free, as with the local queues.
 func (s *ShardSet) Advance(now vtime.Time) {
 	s.mu.RLock()
-	if !s.closed {
-		for j := 0; j < s.p; j++ {
-			s.queues[j] <- shardMsg{kind: msgTick, now: now}
-		}
+	if s.closed {
+		s.mu.RUnlock()
+		return
 	}
+	for j := 0; j < s.p; j++ {
+		if s.conns[j] != nil {
+			continue
+		}
+		s.queues[j] <- shardMsg{kind: msgTick, now: now}
+	}
+	conns := s.uconns
 	s.mu.RUnlock()
+	// A tick racing a concurrent Close lands on a closed/failed link and
+	// drops there (sticky), like any post-Close send.
+	if len(conns) == 1 {
+		_ = conns[0].Tick(now) // common case: no fan-out machinery
+		return
+	}
+	var wg sync.WaitGroup
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c *ShardConn) {
+			defer wg.Done()
+			_ = c.Tick(now)
+		}(c)
+	}
+	wg.Wait()
 }
 
 // Flush blocks until every message enqueued before the call — batches and
@@ -193,17 +271,32 @@ func (s *ShardSet) Flush() {
 		s.mu.RUnlock()
 		return
 	}
-	wg.Add(s.p)
 	for j := 0; j < s.p; j++ {
+		if s.conns[j] != nil {
+			continue
+		}
+		wg.Add(1)
 		s.queues[j] <- shardMsg{kind: msgBarrier, wg: &wg}
+	}
+	// Remote barriers run concurrently with the local drain: each flush ack
+	// arrives behind the worker's results (FIFO), so when Wait returns the
+	// merged sink reflects every replica. A dead link acks vacuously.
+	for _, c := range s.uconns {
+		wg.Add(1)
+		go func(c *ShardConn) {
+			defer wg.Done()
+			_ = c.Flush()
+		}(c)
 	}
 	s.mu.RUnlock()
 	wg.Wait()
 }
 
-// Close drains the queues and stops the workers. It is safe with live
-// producers: anything a Sharder or Advance sends afterwards is dropped
-// (the deployment's result simply stops updating). Idempotent.
+// Close drains the queues, stops the local workers, and barrier-closes
+// every worker connection (remote replicas are torn down on their hosts).
+// It is safe with live producers: anything a Sharder or Advance sends
+// afterwards is dropped (the deployment's result simply stops updating).
+// Idempotent.
 func (s *ShardSet) Close() {
 	s.mu.Lock()
 	if !s.started || s.closed {
@@ -212,10 +305,24 @@ func (s *ShardSet) Close() {
 	}
 	s.closed = true
 	for j := 0; j < s.p; j++ {
+		if s.conns[j] != nil {
+			continue
+		}
 		close(s.queues[j]) // workers drain buffered messages, then exit
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Connection teardowns are acked round trips: run them concurrently so
+	// closing an N-worker deployment costs one RTT, not N (like Flush).
+	var cwg sync.WaitGroup
+	for _, c := range s.uconns {
+		cwg.Add(1)
+		go func(c *ShardConn) {
+			defer cwg.Done()
+			_ = c.Close()
+		}(c)
+	}
+	cwg.Wait()
 }
 
 // Sharder is the exchange operator in front of one replicated pipeline

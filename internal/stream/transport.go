@@ -2,13 +2,13 @@ package stream
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"aspen/internal/data"
+	"aspen/internal/vtime"
 )
 
 // The exchange layer ships tuples between stream-engine nodes. Inside one
@@ -28,12 +28,49 @@ type Transport interface {
 	Close() error
 }
 
-// frame is the wire format. Exactly one of Tuple (single delivery) or
-// Batch (batched delivery) is populated.
+// frameKind discriminates wire frames. The zero value is a data frame, so
+// pre-existing peers that never set Kind keep decoding as before.
+type frameKind uint8
+
+const (
+	// frameData delivers Tuple or Batch to the named Input.
+	frameData frameKind = iota
+	// frameTick propagates a clock instant: the receiver advances its
+	// time-driven state (windows) to Now.
+	frameTick
+	// frameFlush is an acked barrier: the receiver processes everything
+	// before it, then answers frameAck with the same Seq — behind any
+	// result frames its processing produced, so the sender's ack doubles
+	// as a result-drain barrier.
+	frameFlush
+	// frameClose is an acked teardown barrier for the shard deployments on
+	// this connection.
+	frameClose
+	// frameDeploy carries an opaque replica spec (Spec) for shard Shard;
+	// acked with Seq (Err set on a failed deploy).
+	frameDeploy
+	// frameAck answers flush/close/deploy barriers (matching Seq) and, with
+	// Seq == 0, releases one in-flight credit for a processed data or tick
+	// frame.
+	frameAck
+	// frameResult returns a batch of replica output tuples from a shard
+	// worker to its coordinator.
+	frameResult
+)
+
+// frame is the wire format of the exchange layer. Which fields are
+// meaningful depends on Kind; a data frame populates exactly one of Tuple
+// (single delivery) or Batch (batched delivery).
 type frame struct {
+	Kind  frameKind
 	Input string
 	Tuple data.Tuple
 	Batch []data.Tuple
+	Now   vtime.Time // frameTick
+	Seq   uint64     // barrier/deploy/ack matching; 0 on credit acks
+	Shard int        // frameDeploy: which shard replica the spec builds
+	Spec  []byte     // frameDeploy payload, opaque to the stream layer
+	Err   string     // frameAck: non-empty reports a failed deploy/barrier
 }
 
 // InProc is a Transport bound directly to a local engine.
@@ -53,10 +90,12 @@ func (p *InProc) SendBatch(input string, ts []data.Tuple) error {
 // Close implements Transport.
 func (p *InProc) Close() error { return nil }
 
-// Server accepts TCP connections and pushes decoded frames into a local
-// engine. Decode errors terminate only the offending connection.
-type Server struct {
-	e  *Engine
+// connServer owns a listener's connection lifecycle — accept loop, live
+// connection registry, and a Close that stops accepting, closes every
+// connection, and waits for the handlers to drain. Server and ShardWorker
+// share it so the subtle parts (the accept-after-Close check, the
+// WaitGroup ordering that keeps Close from returning early) live once.
+type connServer struct {
 	l  net.Listener
 	wg sync.WaitGroup
 
@@ -65,23 +104,23 @@ type Server struct {
 	closed bool
 }
 
-// NewServer starts serving on addr (use "127.0.0.1:0" for an ephemeral
-// port).
-func NewServer(e *Engine, addr string) (*Server, error) {
+// newConnServer listens on addr and serves each accepted connection with
+// handler on its own goroutine; the registry bookkeeping wraps the call.
+func newConnServer(addr string, handler func(net.Conn)) (*connServer, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("stream: listen: %w", err)
 	}
-	s := &Server{e: e, l: l, conns: map[net.Conn]struct{}{}}
+	s := &connServer{l: l, conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
-	go s.acceptLoop()
+	go s.acceptLoop(handler)
 	return s, nil
 }
 
 // Addr returns the bound address.
-func (s *Server) Addr() string { return s.l.Addr().String() }
+func (s *connServer) Addr() string { return s.l.Addr().String() }
 
-func (s *Server) acceptLoop() {
+func (s *connServer) acceptLoop(handler func(net.Conn)) {
 	defer s.wg.Done()
 	for {
 		conn, err := s.l.Accept()
@@ -97,40 +136,21 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serveConn(conn)
-	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	dec := gob.NewDecoder(conn)
-	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Malformed peer: drop the connection, keep the engine up.
-				return
-			}
-			return
-		}
-		// Unknown inputs are dropped with no way to NACK mid-stream; the
-		// sender validated the deployment before wiring.
-		if f.Batch != nil {
-			_ = s.e.PushBatch(f.Input, f.Batch)
-		} else {
-			_ = s.e.Push(f.Input, f.Tuple)
-		}
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			handler(conn)
+		}()
 	}
 }
 
 // Close stops accepting, closes live connections, and waits for handlers.
-func (s *Server) Close() error {
+func (s *connServer) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	conns := make([]net.Conn, 0, len(s.conns))
@@ -144,6 +164,52 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Server accepts TCP connections and pushes decoded frames into a local
+// engine. Decode errors terminate only the offending connection.
+type Server struct {
+	*connServer
+	e *Engine
+}
+
+// NewServer starts serving on addr (use "127.0.0.1:0" for an ephemeral
+// port).
+func NewServer(e *Engine, addr string) (*Server, error) {
+	s := &Server{e: e}
+	cs, err := newConnServer(addr, s.serveConn)
+	if err != nil {
+		return nil, err
+	}
+	s.connServer = cs
+	return s, nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			// Clean disconnect or malformed peer alike: drop only this
+			// connection, keep the engine up.
+			return
+		}
+		switch f.Kind {
+		case frameData:
+			// Unknown inputs are dropped with no way to NACK mid-stream; the
+			// sender validated the deployment before wiring.
+			if f.Batch != nil {
+				_ = s.e.PushBatch(f.Input, f.Batch)
+			} else {
+				_ = s.e.Push(f.Input, f.Tuple)
+			}
+		case frameTick:
+			s.e.Advance(f.Now)
+		default:
+			// Shard frames (deploy/flush/close) need the acked worker
+			// protocol (ShardWorker); a plain engine server drops them.
+		}
+	}
 }
 
 // Remote is a TCP Transport to a Server.
@@ -186,6 +252,17 @@ func (r *Remote) SendBatch(input string, ts []data.Tuple) error {
 	return nil
 }
 
+// SendTick propagates a clock instant to the remote engine, which advances
+// its tracked windows to now — the cross-node form of Engine.Advance.
+func (r *Remote) SendTick(now vtime.Time) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(frame{Kind: frameTick, Now: now}); err != nil {
+		return fmt.Errorf("stream: tick to %s: %w", r.conn.RemoteAddr(), err)
+	}
+	return nil
+}
+
 // Close implements Transport.
 func (r *Remote) Close() error { return r.conn.Close() }
 
@@ -198,7 +275,9 @@ type Ship struct {
 	// OnError observes delivery failures (default: drop silently, as a
 	// lossy WAN link would).
 	OnError func(error)
-	sent    int64
+	// sent is atomic: Sent() may poll from a goroutine other than the
+	// pipeline's pusher.
+	sent atomic.Int64
 }
 
 // NewShip builds a shipping operator delivering to input over t.
@@ -217,7 +296,7 @@ func (s *Ship) Push(t data.Tuple) {
 		}
 		return
 	}
-	s.sent++
+	s.sent.Add(1)
 }
 
 // PushBatch implements BatchOperator: the batch ships as one transport
@@ -232,8 +311,8 @@ func (s *Ship) PushBatch(ts []data.Tuple) {
 		}
 		return
 	}
-	s.sent += int64(len(ts))
+	s.sent.Add(int64(len(ts)))
 }
 
 // Sent reports successfully shipped tuples.
-func (s *Ship) Sent() int64 { return s.sent }
+func (s *Ship) Sent() int64 { return s.sent.Load() }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"encoding/gob"
 	"net"
 	"testing"
 	"time"
@@ -20,14 +21,17 @@ func TestInProcTransport(t *testing.T) {
 	if err := tr.Send("s", temp(1, "L1", 20)); err != nil {
 		t.Fatal(err)
 	}
+	if err := tr.SendBatch("s", []data.Tuple{temp(2, "L2", 21), temp(3, "L3", 22)}); err != nil {
+		t.Fatal(err)
+	}
 	if err := tr.Send("missing", temp(1, "L1", 20)); err == nil {
 		t.Fatal("missing input accepted")
 	}
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if col.Len() != 1 {
-		t.Fatal("tuple lost")
+	if col.Len() != 3 {
+		t.Fatal("tuples lost")
 	}
 }
 
@@ -238,6 +242,11 @@ func TestShipOperator(t *testing.T) {
 	if ship.Sent() != 1 || col.Len() != 1 {
 		t.Fatal("ship failed")
 	}
+	ship.PushBatch([]data.Tuple{temp(2, "L2", 21), temp(3, "L3", 22)})
+	ship.PushBatch(nil) // no-op
+	if ship.Sent() != 3 || col.Len() != 3 {
+		t.Fatal("ship batch failed")
+	}
 	if ship.Schema().Arity() != 2 {
 		t.Fatal("ship schema")
 	}
@@ -254,6 +263,196 @@ func TestShipOperator(t *testing.T) {
 	bad2.Push(temp(1, "L1", 20))
 	if bad2.Sent() != 0 {
 		t.Fatal("silent drop")
+	}
+}
+
+// TestServerTickFrame: a tick frame on the plain engine transport advances
+// the remote engine's tracked windows (cross-node Engine.Advance).
+func TestServerTickFrame(t *testing.T) {
+	remote := NewEngine("remote", vtime.NewScheduler())
+	in := remote.MustRegister("s", tempSchema())
+	col := NewCollector(tempSchema())
+	win := NewTimeWindow(col, 2*time.Second, 0)
+	remote.TrackWindow(win)
+	in.Subscribe(win)
+
+	srv, err := NewServer(remote, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Send("s", temp(1, "L1", 20)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return col.Len() == 1 })
+	if err := cl.SendTick(vtime.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// The expiry deletion proves the tick advanced the remote window.
+	waitFor(t, func() bool { return col.Len() == 2 })
+	if col.Snapshot()[1].Op != data.Delete {
+		t.Fatal("tick did not expire the windowed tuple")
+	}
+}
+
+// TestShardWorkerDisconnectMidEpoch: the worker dies while batches are in
+// flight. The link error is sticky, later sends drop instead of blocking,
+// flush barriers fail fast instead of hanging, and a ShardSet spanning the
+// dead link still flushes and closes.
+func TestShardWorkerDisconnectMidEpoch(t *testing.T) {
+	w := startEchoWorker(t)
+	mat := NewMaterialize(tempSchema())
+	merge := NewMerge(mat)
+	c, err := DialShard(w.Addr(), merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch(0, "s0", []data.Tuple{temp(1, "L1", 20)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	w.Close() // mid-epoch: the coordinator still has batches to send
+
+	// The reader notices the dead peer; sends and barriers then fail fast
+	// (the first few sends may still land in the kernel buffer).
+	waitFor(t, func() bool {
+		c.SendBatch(0, "s0", []data.Tuple{temp(2, "L2", 21)})
+		return c.Err() != nil
+	})
+	done := make(chan error, 1)
+	go func() { done <- c.Flush() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("flush over a dead link must fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush over a dead link hung")
+	}
+
+	// A set spanning the dead link barriers vacuously and closes cleanly.
+	set := NewShardSet(1)
+	set.SetRemote(0, c)
+	set.Start()
+	set.Advance(vtime.Time(time.Hour))
+	set.Flush()
+	set.Close()
+}
+
+// TestShardConnTruncatedBarrierAck: the worker answers a flush with a
+// truncated/garbage ack and drops the link; the barrier must surface the
+// decode error, not hang.
+func TestShardConnTruncatedBarrierAck(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := gob.NewDecoder(conn)
+		for {
+			var f frame
+			if err := dec.Decode(&f); err != nil {
+				return
+			}
+			if f.Kind == frameFlush {
+				// A plausible length prefix, then EOF: the ack truncates.
+				conn.Write([]byte{0x40, 0x01})
+				return
+			}
+		}
+	}()
+
+	c, err := DialShard(l.Addr().String(), NewCollector(tempSchema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Flush() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("truncated barrier ack must fail the flush")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("truncated barrier ack hung the flush")
+	}
+	if c.Err() == nil {
+		t.Fatal("truncated ack must mark the link broken")
+	}
+}
+
+// TestShardConnReconnectRefused: dialing a worker that is gone — both a
+// never-listening port and a closed worker's stale address — is refused
+// with an error rather than a hang, and the error names the address.
+func TestShardConnReconnectRefused(t *testing.T) {
+	if _, err := DialShard("127.0.0.1:1", NewCollector(tempSchema())); err == nil {
+		t.Fatal("dial to a closed port must fail")
+	}
+	w := startEchoWorker(t)
+	addr := w.Addr()
+	w.Close()
+	if _, err := DialShard(addr, NewCollector(tempSchema())); err == nil {
+		t.Fatal("reconnect to a closed worker must be refused")
+	}
+}
+
+// TestShardWorkerSurvivesMalformedFrame: garbage where the worker expects
+// a shard frame kills only that connection; a healthy coordinator link on
+// the same worker keeps its replicas served.
+func TestShardWorkerSurvivesMalformedFrame(t *testing.T) {
+	w := startEchoWorker(t)
+	col := NewCollector(tempSchema())
+	good, err := DialShard(w.Addr(), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := good.Deploy(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	bad, err := net.Dial("tcp", w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if _, err := bad.Write([]byte{0x01, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	bad.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var buf [1]byte
+	if _, err := bad.Read(buf[:]); err == nil {
+		t.Fatal("worker kept the malformed connection open")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("worker neither served nor closed the malformed connection")
+	}
+
+	if err := good.SendBatch(0, "s0", []data.Tuple{temp(1, "L1", 20)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 1 {
+		t.Fatal("healthy link lost its replica after a malformed peer")
 	}
 }
 
