@@ -356,6 +356,29 @@ func BenchmarkE7RemoteSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkE7RemoteShardedFailover is BenchmarkE7RemoteSharded with
+// checkpointed worker failover armed: W=0 shows that an armed deployment
+// with no remote replica costs nothing (the failover machinery only hooks
+// worker connections), W=1 adds the coordinator-side replay log and the
+// periodic checkpoint barriers to the gob/TCP exchange path.
+func BenchmarkE7RemoteShardedFailover(b *testing.B) {
+	for _, w := range []int{0, 1} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			e, err := experiments.NewRemoteE7Failover(10*time.Second, 4, w, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			b.ResetTimer()
+			ts := vtime.Time(0)
+			for i := 0; i < b.N; i += 64 {
+				ts = e.FeedEpoch(i, ts)
+			}
+			e.Dep.Flush()
+		})
+	}
+}
+
 // BenchmarkE8CostUnification measures one optimization under modified
 // radio statistics (the cost-conversion path).
 func BenchmarkE8CostUnification(b *testing.B) {

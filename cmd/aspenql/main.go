@@ -27,6 +27,7 @@ func main() {
 	occupy := flag.String("occupy", "L101:1,L102:3", "comma-separated room:desk pairs to occupy")
 	par := flag.Int("par", 1, "shard deployed stream plans across this many pipeline replicas")
 	nodes := flag.String("nodes", "", "comma-separated shardworker addresses to spread replicas over (see cmd/shardworker; empty entries stay in-process; requires -par >= 2)")
+	failover := flag.Bool("failover", false, "redeploy the shards of a dead or stalled worker from their last checkpoint onto a surviving worker (or in-process), keeping results exact across the loss (requires -nodes)")
 	flag.Parse()
 
 	var topo []string
@@ -39,11 +40,15 @@ func main() {
 				len(topo), *par)
 		}
 	}
+	if *failover && len(topo) == 0 {
+		log.Fatal("-failover needs a -nodes worker topology to fail over from")
+	}
 	app, err := aspen.NewSmartCIS(aspen.SmartCISOptions{
 		Building:       aspen.BuildingConfig{Labs: *labs, DesksPerLab: 6, HallSpacing: 100, Offices: 2},
 		SkipPDUServers: false,
 		Parallelism:    *par,
 		Nodes:          topo,
+		Failover:       *failover,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -3,7 +3,7 @@
 //
 //	go run ./cmd/benchharness                       # all experiments
 //	go run ./cmd/benchharness E2 E4                 # a subset
-//	go run ./cmd/benchharness -json BENCH_PR4.json  # machine-readable dump
+//	go run ./cmd/benchharness -json BENCH_PR5.json  # machine-readable dump
 //
 // With -json, the selected experiment tables are also written to the given
 // file together with the recorded seed baselines of the hot-path
@@ -67,6 +67,21 @@ var pr3Baselines = map[string]string{
 	"E7GlobalAggSharded/P=8":        "407 ns/op, 0 allocs/op",
 }
 
+// pr4Baselines records the post-PR-4 numbers (single-core CI container)
+// that PR 5's failover subsystem must not regress against: the in-process
+// sweeps must not pay for the failover machinery at all (it only hooks
+// worker connections), and the remote rows bound the replay-log +
+// checkpoint overhead on the wire path.
+var pr4Baselines = map[string]string{
+	"E7StreamThroughputSharded/P=1": "259 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=2": "270 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=4": "294 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=8": "390 ns/op, 0 allocs/op",
+	"E7RemoteSharded/W=0":           "284 ns/op, 0 allocs/op",
+	"E7RemoteSharded/W=1":           "2012 ns/op, 4 allocs/op",
+	"E7RemoteSharded/W=2":           "1955 ns/op, 4 allocs/op",
+}
+
 type report struct {
 	// SeedBaseline holds the pre-optimization microbenchmark numbers for
 	// the benchmarks the PR-1 acceptance criteria track.
@@ -79,7 +94,10 @@ type report struct {
 	PR2Baseline map[string]string `json:"pr2_baseline"`
 	// PR3Baseline holds the post-PR-3 sweep numbers that PR 4's
 	// multi-node exchange must not regress against.
-	PR3Baseline map[string]string   `json:"pr3_baseline"`
+	PR3Baseline map[string]string `json:"pr3_baseline"`
+	// PR4Baseline holds the post-PR-4 sweep numbers that PR 5's failover
+	// subsystem must not regress against.
+	PR4Baseline map[string]string   `json:"pr4_baseline"`
 	Experiments []experiments.Table `json:"experiments"`
 }
 
@@ -106,7 +124,8 @@ func main() {
 		want = order
 	}
 	rep := report{SeedBaseline: seedBaselines, PR1Baseline: pr1Baselines,
-		PR2Baseline: pr2Baselines, PR3Baseline: pr3Baselines}
+		PR2Baseline: pr2Baselines, PR3Baseline: pr3Baselines,
+		PR4Baseline: pr4Baselines}
 	for _, id := range want {
 		fn, ok := all[strings.ToUpper(id)]
 		if !ok {

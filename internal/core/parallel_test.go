@@ -7,6 +7,7 @@ import (
 
 	"aspen/internal/data"
 	"aspen/internal/plan"
+	"aspen/internal/stream"
 	"aspen/internal/vtime"
 )
 
@@ -210,6 +211,91 @@ func TestRuntimeParallelismMultiNode(t *testing.T) {
 	for i := range want {
 		if !want[i].EqualVals(got[i]) {
 			t.Fatalf("row %d: distributed %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRuntimeFailoverSurvivesWorkerLoss runs the multi-node deployment
+// with Config.Failover and kills one of the two workers mid-feed: the
+// dead worker's shards must redeploy from their checkpoints onto the
+// survivor and the final result must still match serial execution.
+func TestRuntimeFailoverSurvivesWorkerLoss(t *testing.T) {
+	const src = `SELECT r.room, count(*) AS n, avg(r.value) AS v
+		FROM Readings r [RANGE 5 SECONDS] GROUP BY r.room ORDER BY r.room`
+	feed := func(rt *Runtime, sched *vtime.Scheduler, mid func()) {
+		in, ok := rt.Stream.Input("Readings")
+		if !ok {
+			t.Fatal("Readings input missing")
+		}
+		for i := 0; i < 40; i++ {
+			if i == 23 && mid != nil {
+				mid()
+			}
+			batch := make([]data.Tuple, 0, 8)
+			for k := 0; k < 8; k++ {
+				batch = append(batch, data.NewTuple(sched.Now(),
+					data.Str(fmt.Sprintf("L%d", (i+k)%6)), data.Float(float64((i*k)%13))))
+			}
+			in.PushBatch(batch)
+			sched.RunFor(300 * time.Millisecond)
+		}
+	}
+
+	srt, ssched := newParallelRuntime(t, 0)
+	sq, err := srt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(srt, ssched, nil)
+	want, err := sq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial reference is empty")
+	}
+
+	var workers []*stream.ShardWorker
+	var nodes []string
+	for i := 0; i < 2; i++ {
+		w, err := plan.NewWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		workers = append(workers, w)
+		nodes = append(nodes, w.Addr())
+	}
+	sched := vtime.NewScheduler()
+	rt := New(Config{Scheduler: sched, Parallelism: 4, Nodes: nodes,
+		Failover: true, CheckpointEvery: 2})
+	t.Cleanup(rt.Close)
+	schema := data.NewSchema("Readings",
+		data.Col("room", data.TString), data.Col("value", data.TFloat))
+	schema.IsStream = true
+	if _, err := rt.RegisterStream("Readings", schema, 50); err != nil {
+		t.Fatal(err)
+	}
+	pq, err := rt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Deployment.Shards != 4 || !pq.Deployment.Failover {
+		t.Fatalf("Shards=%d Failover=%v, want a 4-way failover-armed deployment",
+			pq.Deployment.Shards, pq.Deployment.Failover)
+	}
+	feed(rt, sched, func() { workers[1].Close() })
+	got, err := pq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Stop()
+	if len(got) != len(want) {
+		t.Fatalf("post-failover rows %v, want %v", got, want)
+	}
+	for i := range want {
+		if !want[i].EqualVals(got[i]) {
+			t.Fatalf("row %d: post-failover %v, want %v", i, got[i], want[i])
 		}
 	}
 }

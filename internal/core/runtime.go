@@ -48,6 +48,20 @@ type Config struct {
 	// the replicas over: shard j deploys to Nodes[j%len(Nodes)], with ""
 	// keeping that replica in-process. Empty runs everything in-process.
 	Nodes []string
+	// Failover converts worker loss from fail-stop into checkpointed
+	// redeploy: remote replicas checkpoint their operator state to the
+	// coordinator, and a dead or stalled worker's shards redeploy —
+	// checkpoint plus replayed input — onto a surviving worker or
+	// in-process, keeping query results exact across the loss. Only
+	// meaningful with Nodes.
+	Failover bool
+	// CheckpointEvery is the failover checkpoint cadence in clock ticks
+	// (default 8).
+	CheckpointEvery int
+	// FailoverStallTimeout bounds every shard-worker ack wait (flush and
+	// deploy barriers, in-flight credits); a worker silent past it is a
+	// detected failure. 0 keeps the stream-layer default (30s).
+	FailoverStallTimeout time.Duration
 }
 
 // Runtime is one assembled ASPEN instance.
@@ -61,6 +75,9 @@ type Runtime struct {
 	recursion   int
 	parallelism int
 	nodes       []string
+	failover    bool
+	ckEvery     int
+	stall       time.Duration
 	tickCancel  func()
 }
 
@@ -86,6 +103,9 @@ func New(cfg Config) *Runtime {
 		recursion:   cfg.RecursionDepth,
 		parallelism: cfg.Parallelism,
 		nodes:       cfg.Nodes,
+		failover:    cfg.Failover,
+		ckEvery:     cfg.CheckpointEvery,
+		stall:       cfg.FailoverStallTimeout,
 	}
 	rt.fed = &federation.Federator{Cat: rt.Cat}
 	if cfg.SensorEngine != nil {
@@ -195,7 +215,8 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 		return nil, err
 	}
 	dep, err := plan.CompileStreamOpts(res.Chosen.StreamPlan, rt.Stream,
-		plan.CompileOptions{Parallelism: rt.parallelism, Nodes: rt.nodes})
+		plan.CompileOptions{Parallelism: rt.parallelism, Nodes: rt.nodes,
+			Failover: rt.failover, CheckpointEvery: rt.ckEvery, StallTimeout: rt.stall})
 	if err != nil {
 		return nil, err
 	}

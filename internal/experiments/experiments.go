@@ -398,10 +398,22 @@ func E7StreamThroughput() Table {
 			elapsed.Truncate(time.Microsecond).String(),
 			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds())})
 	}
+	// Failover sweep (PR 5): the same deployments with checkpointed
+	// worker failover armed — replay logging on every remote exchange hop
+	// plus periodic checkpoint barriers. W=0 has no remote replica, so
+	// the row measures that an armed-but-inert deployment costs nothing.
+	for _, w := range []int{0, 1} {
+		const n = 30000
+		elapsed := runRemoteFailoverPipeline(10*time.Second, n, 4, w, true)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("10s/P=4/W=%d/fo", w), d(n),
+			elapsed.Truncate(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds())})
+	}
 	t.Notes = "larger windows hold more join state, so each arrival probes and expires more; " +
 		"P rows shard the pipeline across worker replicas (speedup needs multiple cores); " +
 		"glob rows run the global-aggregate two-phase (partial/final-merge) path; " +
-		"W rows deploy the P=4 replicas over W loopback shard workers (gob/TCP exchange overhead)"
+		"W rows deploy the P=4 replicas over W loopback shard workers (gob/TCP exchange overhead); " +
+		"fo rows arm checkpointed worker failover (replay log + checkpoint barriers)"
 	return t
 }
 
@@ -573,6 +585,13 @@ type RemoteE7 struct {
 // of loopback workers (0 = every replica in-process), with shards
 // round-robined across them.
 func NewRemoteE7(win time.Duration, p, workers int) (*RemoteE7, error) {
+	return NewRemoteE7Failover(win, p, workers, false)
+}
+
+// NewRemoteE7Failover is NewRemoteE7 with checkpointed worker failover
+// optionally armed — the configuration PR 5's checkpoint-overhead
+// measurements compare against the failover-off baseline.
+func NewRemoteE7Failover(win time.Duration, p, workers int, failover bool) (*RemoteE7, error) {
 	left := data.NewSchema("A", data.Col("k", data.TInt), data.Col("v", data.TFloat))
 	left.IsStream = true
 	right := data.NewSchema("B", data.Col("k", data.TInt), data.Col("w", data.TFloat))
@@ -600,7 +619,7 @@ func NewRemoteE7(win time.Duration, p, workers int) (*RemoteE7, error) {
 		nodes = append(nodes, wk.Addr())
 	}
 	dep, err := plan.CompileStreamOpts(&plan.Built{Root: agg, Limit: -1}, e.Eng,
-		plan.CompileOptions{Parallelism: p, Nodes: nodes})
+		plan.CompileOptions{Parallelism: p, Nodes: nodes, Failover: failover})
 	if err != nil {
 		e.Close()
 		return nil, err
@@ -633,7 +652,13 @@ func (e *RemoteE7) Close() {
 
 // runRemoteJoinPipeline drives n tuples through a RemoteE7 and times it.
 func runRemoteJoinPipeline(win time.Duration, n, p, workers int) time.Duration {
-	e, err := NewRemoteE7(win, p, workers)
+	return runRemoteFailoverPipeline(win, n, p, workers, false)
+}
+
+// runRemoteFailoverPipeline is runRemoteJoinPipeline with failover
+// optionally armed (checkpoint cadence + replay logging overhead).
+func runRemoteFailoverPipeline(win time.Duration, n, p, workers int, failover bool) time.Duration {
+	e, err := NewRemoteE7Failover(win, p, workers, failover)
 	if err != nil {
 		panic(err)
 	}

@@ -50,6 +50,13 @@ func buildWorker(t *testing.T) string {
 // startWorkerProcess launches one worker on an ephemeral port and parses
 // the advertised address off its stdout.
 func startWorkerProcess(t *testing.T, bin string) string {
+	addr, _ := startWorkerProcessCmd(t, bin)
+	return addr
+}
+
+// startWorkerProcessCmd is startWorkerProcess exposing the process handle,
+// so chaos tests can SIGKILL it mid-run.
+func startWorkerProcessCmd(t *testing.T, bin string) (string, *exec.Cmd) {
 	t.Helper()
 	cmd := exec.Command(bin)
 	stdout, err := cmd.StdoutPipe()
@@ -72,7 +79,37 @@ func startWorkerProcess(t *testing.T, bin string) string {
 	if !strings.HasPrefix(line, banner) {
 		t.Fatalf("unexpected worker banner %q", line)
 	}
-	return strings.TrimSpace(strings.TrimPrefix(line, banner))
+	return strings.TrimSpace(strings.TrimPrefix(line, banner)), cmd
+}
+
+// TestChaosWorkerProcessKill is the full-fidelity chaos run: two real
+// shardworker processes host the replicas and one of them is SIGKILLed at
+// a random epoch mid-run. Checkpointed failover onto the surviving process
+// (state restored across a genuine process and codec boundary) must keep
+// every result multiset-identical to serial execution.
+func TestChaosWorkerProcessKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches worker processes")
+	}
+	if *fuzzKill <= 0 {
+		t.Skip("chaos mode disabled (-fuzzshard.kill=0)")
+	}
+	bin := buildWorker(t)
+	n := *fuzzKill / 2
+	if n < 3 {
+		n = 3
+	}
+	runChaosDifferential(t, *fuzzSeed+9000, n, func(t *testing.T) chaosCluster {
+		procs := make([]*exec.Cmd, 2)
+		addrs := make([]string, 2)
+		for i := range procs {
+			addrs[i], procs[i] = startWorkerProcessCmd(t, bin)
+		}
+		return chaosCluster{addrs: addrs, kill: func(i int) {
+			procs[i].Process.Kill() // SIGKILL: no teardown, no goodbyes
+			procs[i].Wait()
+		}}
+	})
 }
 
 // TestCompileShardedDialRefused: an unreachable worker fails the compile
@@ -133,7 +170,7 @@ func TestCompileNodesWithoutParallelism(t *testing.T) {
 // TestDeployReplicaGarbageSpec: a corrupt wire spec is a deploy error, not
 // a worker panic.
 func TestDeployReplicaGarbageSpec(t *testing.T) {
-	if _, _, err := DeployReplica([]byte{0x01, 0x02, 0x03}, 0,
+	if _, _, _, err := DeployReplica([]byte{0x01, 0x02, 0x03}, 0, nil,
 		func([]data.Tuple) error { return nil }); err == nil {
 		t.Fatal("garbage spec must fail to deploy")
 	}

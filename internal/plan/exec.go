@@ -47,6 +47,10 @@ type Deployment struct {
 	// Nodes records the worker topology the shards deployed over, as
 	// given in CompileOptions (empty = every replica in-process).
 	Nodes []string
+	// Failover reports that lost workers redeploy from checkpoints (see
+	// CompileOptions.Failover); it is false when no replica left the
+	// process.
+	Failover bool
 
 	set *stream.ShardSet
 }
@@ -98,6 +102,24 @@ type CompileOptions struct {
 	// their workers, mirroring the documented Parallelism semantics —
 	// check Deployment.Shards/Nodes when distribution matters.
 	Nodes []string
+	// Failover converts worker loss from fail-stop into checkpointed
+	// redeploy: remote replicas periodically checkpoint their operator
+	// state to the coordinator at tick barriers, and when a worker dies or
+	// stalls its shards redeploy — checkpoint plus replayed epochs — onto a
+	// surviving worker, or in-process as the last resort, keeping
+	// Deployment.Flush/Snapshot exact across the loss. Only meaningful
+	// with a Nodes topology.
+	Failover bool
+	// CheckpointEvery is the checkpoint cadence in clock ticks (default 8);
+	// smaller values shrink replay logs, larger ones shrink checkpoint
+	// traffic.
+	CheckpointEvery int
+	// StallTimeout bounds every ack wait on a shard worker (flush/deploy
+	// barriers, in-flight credits, socket writes); a worker silent past it
+	// is a detected failure. 0 keeps the package default (30s).
+	StallTimeout time.Duration
+	// OnFailover, when set, observes completed failovers (tests, ops).
+	OnFailover func(stream.FailoverEvent)
 }
 
 // CompileStream lowers a logical plan onto a stream engine serially; see
@@ -119,7 +141,7 @@ func CompileStreamOpts(b *Built, eng *stream.Engine, opts CompileOptions) (*Depl
 	}
 	if opts.Parallelism > 1 {
 		if strat, ok := analyzeShard(b.Root); ok {
-			return compileSharded(b, eng, opts.Parallelism, opts.Nodes, strat)
+			return compileSharded(b, eng, opts, strat)
 		}
 	}
 	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: 1}
@@ -197,7 +219,8 @@ func attachScan(x *Scan, head stream.Operator, eng *stream.Engine, dep *Deployme
 // shipped wire spec, the Sharder routes its partitions over the worker
 // connection, and the worker funnels results (or partial rows) back
 // through the same connection into the Merge sink.
-func compileSharded(b *Built, eng *stream.Engine, p int, nodes []string, strat *shardStrategy) (*Deployment, error) {
+func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *shardStrategy) (*Deployment, error) {
+	p, nodes := opts.Parallelism, opts.Nodes
 	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: p,
 		TwoPhase: strat.Split != nil, Nodes: nodes}
 	sink := newDeploymentSink(b, eng, dep)
@@ -257,6 +280,21 @@ func compileSharded(b *Built, eng *stream.Engine, p int, nodes []string, strat *
 		if spec, err = encodeReplica(parRoot, strat.Split); err != nil {
 			return nil, err
 		}
+		if opts.Failover {
+			// Arm checkpointed redeploy before the connections register:
+			// SetRemote wires each one for replay logging and failure
+			// notification as it joins the set.
+			dep.Failover = true
+			set.EnableFailover(stream.FailoverConfig{
+				Spec:            spec,
+				Nodes:           nodes,
+				Sink:            merge,
+				LocalDeploy:     DeployReplica,
+				CheckpointEvery: opts.CheckpointEvery,
+				StallTimeout:    opts.StallTimeout,
+				OnFailover:      opts.OnFailover,
+			})
+		}
 	}
 
 	for j := 0; j < p; j++ {
@@ -284,17 +322,21 @@ func compileSharded(b *Built, eng *stream.Engine, p int, nodes []string, strat *
 			if conn, err = stream.DialShard(loc[j], merge); err != nil {
 				return fail(err)
 			}
+			conn.SetStallTimeout(opts.StallTimeout)
 			conns[loc[j]] = conn
 		}
+		// Register before the deploy barrier so a failover-armed link logs
+		// from its first frame; failure notification only arms at Start, so
+		// a worker lost during compile still just fails the compile.
+		set.SetRemote(j, conn)
 		// The worker compiles the replica from the spec; its scan heads
 		// answer to the walk-order names both sides derive from the tree.
-		if err := conn.Deploy(spec, j); err != nil {
+		if err := conn.Deploy(spec, j, nil); err != nil {
 			return fail(err)
 		}
 		for i, sc := range scans {
 			heads[sc][j] = conn.Head(sc.Schema(), j, scanName(i))
 		}
-		set.SetRemote(j, conn)
 	}
 	// Resolve every input and build every exchange before wiring anything
 	// into the live engine: a failure on the second scan must not leave
@@ -305,11 +347,12 @@ func compileSharded(b *Built, eng *stream.Engine, p int, nodes []string, strat *
 		sh   *stream.Sharder
 	}
 	var ws []wiring
-	for _, scan := range scans {
+	for i, scan := range scans {
 		sh, err := newScanSharder(set, heads[scan], scan, strat.Keys[scan])
 		if err != nil {
 			return fail(err)
 		}
+		sh.SetName(scanName(i))
 		in, err := resolveScanInput(scan, eng)
 		if err != nil {
 			return fail(err)
@@ -369,8 +412,9 @@ func newScanSharder(set *stream.ShardSet, heads []stream.Operator, scan *Scan, k
 }
 
 // compiler carries the deployment context of one pipeline replica: who
-// receives clock ticks, and what to do with a finished scan head
-// (subscribe it directly, or hand it to a Sharder).
+// receives clock ticks, what to do with a finished scan head (subscribe it
+// directly, or hand it to a Sharder), and — for failover-capable replicas —
+// who collects the stateful operators for checkpointing.
 //
 // splitAgg, when set, marks the aggregate a two-phase plan splits at: the
 // compiler lowers it to a FinalMerge (recorded in finalMerge) and stops
@@ -378,9 +422,20 @@ func newScanSharder(set *stream.ShardSet, heads []stream.Operator, scan *Scan, k
 type compiler struct {
 	track    func(stream.Advancer)
 	scanHead func(*Scan, stream.Operator) error
+	// ck observes every stateful operator in compile order; DeployReplica
+	// sets it so checkpoints snapshot and restore in one deterministic
+	// sequence on every host of the same spec.
+	ck func(stream.Checkpointer)
 
 	splitAgg   *Aggregate
 	finalMerge *stream.FinalMerge
+}
+
+// ckAdd reports a stateful operator to the checkpoint collector, if any.
+func (c *compiler) ckAdd(k stream.Checkpointer) {
+	if c.ck != nil {
+		c.ck(k)
+	}
 }
 
 func (c *compiler) compile(n Node, out stream.Operator) error {
@@ -395,6 +450,7 @@ func (c *compiler) compile(n Node, out stream.Operator) error {
 			default:
 				win := buildWindow(w, out)
 				c.track(win)
+				c.ckAdd(win)
 				head = win
 			}
 		}
@@ -419,6 +475,7 @@ func (c *compiler) compile(n Node, out stream.Operator) error {
 		if err != nil {
 			return err
 		}
+		c.ckAdd(j)
 		if err := c.compile(x.L, j.Left()); err != nil {
 			return err
 		}
@@ -437,10 +494,13 @@ func (c *compiler) compile(n Node, out stream.Operator) error {
 		if err != nil {
 			return err
 		}
+		c.ckAdd(a)
 		return c.compile(x.In, a)
 
 	case *Distinct:
-		return c.compile(x.In, stream.NewDistinct(out))
+		d := stream.NewDistinct(out)
+		c.ckAdd(d)
+		return c.compile(x.In, d)
 	}
 	return fmt.Errorf("plan: cannot compile %T", n)
 }

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -30,6 +31,7 @@ var (
 	fuzzSeed  = flag.Int64("fuzzshard.seed", 1, "base PRNG seed for the shard differential harness")
 	fuzzN     = flag.Int("fuzzshard.n", 40, "random plans per shard differential run")
 	fuzzNodes = flag.Int("fuzzshard.nodes", 2, "loopback shard workers for the multi-node differential mode (0 disables)")
+	fuzzKill  = flag.Int("fuzzshard.kill", 8, "random plans per chaos differential run: a worker is killed at a random epoch mid-run and failover must keep the result multiset-equal to serial (0 disables)")
 )
 
 // fuzzSource is one generated stream source.
@@ -393,4 +395,175 @@ func TestShardDifferentialMixedLocalRemote(t *testing.T) {
 	}
 	addrs := startWorkers(t, 1)
 	runShardDifferential(t, *fuzzSeed+4000, 10, []string{"", addrs[0]})
+}
+
+// ---- chaos mode: kill a worker mid-run, failover must keep exactness ----
+
+// chaosCluster is one disposable set of shard workers the chaos harness
+// can kill mid-run: in-process loopback workers (Close severs every
+// replica, the in-process equivalent of SIGKILL) or real shardworker
+// processes killed with the actual signal.
+type chaosCluster struct {
+	addrs []string
+	kill  func(i int)
+}
+
+func startKillableWorkers(t *testing.T, n int) chaosCluster {
+	t.Helper()
+	ws := make([]*stream.ShardWorker, n)
+	addrs := make([]string, n)
+	for i := range ws {
+		w, err := NewWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+		addrs[i] = w.Addr()
+		t.Cleanup(func() { w.Close() })
+	}
+	return chaosCluster{addrs: addrs, kill: func(i int) { ws[i].Close() }}
+}
+
+// runChaosDifferential is the chaos differential: each random plan runs
+// serially for the reference result, then sharded at P∈{2,4} with every
+// replica on a cluster worker and failover armed; at a random event index
+// mid-replay one random worker is killed. The final materialized output
+// must stay multiset-equal to the serial run and Deployment.Flush (inside
+// Snapshot) must still be an exact barrier. The run fails if no deployment
+// actually failed over (the chaos would be vacuous) or if any failover
+// abandoned its shards.
+func runChaosDifferential(t *testing.T, seed int64, nPlans int, cluster func(t *testing.T) chaosCluster) {
+	sources := fuzzSources()
+	sharded, failovers := 0, 0
+	for pi := 0; pi < nPlans; pi++ {
+		rng := rand.New(rand.NewSource(seed + int64(pi)))
+		g := &fuzzGen{rng: rng, sources: sources}
+		root := g.genPlan()
+		b := &Built{Root: root, Limit: -1}
+		evs := genWorkload(rng, sources, 300)
+
+		seng := stream.NewEngine(fmt.Sprintf("chaos%d-serial", pi), vtime.NewScheduler())
+		sdep, err := CompileStream(b, seng)
+		if err != nil {
+			t.Fatalf("seed %d plan %d: serial compile: %v", seed, pi, err)
+		}
+		want := replay(t, sdep, seng, evs)
+
+		for _, p := range []int{2, 4} {
+			// A fresh cluster per run: previous runs killed their workers.
+			cl := cluster(t)
+			var events []stream.FailoverEvent
+			var emu sync.Mutex
+			eng := stream.NewEngine(fmt.Sprintf("chaos%d-p%d", pi, p), vtime.NewScheduler())
+			dep, err := CompileStreamOpts(b, eng, CompileOptions{
+				Parallelism: p, Nodes: cl.addrs,
+				Failover:        true,
+				CheckpointEvery: 1 + rng.Intn(3),
+				OnFailover: func(ev stream.FailoverEvent) {
+					emu.Lock()
+					events = append(events, ev)
+					emu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatalf("seed %d plan %d: chaos compile P=%d: %v\nplan: %s", seed, pi, p, err, root)
+			}
+			if dep.Shards != p {
+				dep.Close() // serial fallback: nothing to kill
+				continue
+			}
+			sharded++
+			killAt := rng.Intn(len(evs))
+			victim := rng.Intn(len(cl.addrs))
+			for i, ev := range evs {
+				if i == killAt {
+					cl.kill(victim)
+				}
+				if ev.tick != 0 {
+					eng.Advance(ev.tick)
+					continue
+				}
+				if in, ok := eng.Input(ev.input); ok {
+					in.Push(ev.t.Clone())
+				}
+			}
+			got, err := dep.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream.SortTuples(got)
+			emu.Lock()
+			evCopy := append([]stream.FailoverEvent(nil), events...)
+			emu.Unlock()
+			for _, ev := range evCopy {
+				failovers++
+				if ev.Err != nil {
+					t.Fatalf("seed %d plan %d P=%d: failover abandoned shards %v: %v",
+						seed, pi, p, ev.Shards, ev.Err)
+				}
+			}
+			if len(evCopy) == 0 {
+				t.Fatalf("seed %d plan %d P=%d: worker killed at event %d but no failover ran",
+					seed, pi, p, killAt)
+			}
+			dep.Close()
+			if len(got) != len(want) {
+				t.Fatalf("seed %d plan %d P=%d (kill@%d, %d failovers): %d rows, want %d\nplan: %s\ngot:  %v\nwant: %v",
+					seed, pi, p, killAt, len(evCopy), len(got), len(want), root, got, want)
+			}
+			for i := range want {
+				if !got[i].EqualVals(want[i]) {
+					t.Fatalf("seed %d plan %d P=%d (kill@%d): row %d = %v, want %v\nplan: %s",
+						seed, pi, p, killAt, i, got[i], want[i], root)
+				}
+			}
+		}
+	}
+	t.Logf("seed %d: %d plans, %d sharded chaos runs, %d failovers", seed, nPlans, sharded, failovers)
+	if sharded == 0 {
+		t.Fatal("no generated plan sharded; the chaos mode ran vacuously")
+	}
+}
+
+// TestShardDifferentialChaosKill is the chaos differential over two
+// workers: the surviving worker (or the coordinator process) must absorb
+// the killed worker's shards from their last checkpoint.
+func TestShardDifferentialChaosKill(t *testing.T) {
+	if *fuzzKill <= 0 {
+		t.Skip("chaos mode disabled (-fuzzshard.kill=0)")
+	}
+	runChaosDifferential(t, *fuzzSeed+6000, *fuzzKill,
+		func(t *testing.T) chaosCluster { return startKillableWorkers(t, 2) })
+}
+
+// TestShardDifferentialChaosKillLastWorker runs the chaos differential
+// with a single worker: killing it leaves no remote candidate, so every
+// shard must fail over in-process (the last-resort path).
+func TestShardDifferentialChaosKillLastWorker(t *testing.T) {
+	if *fuzzKill <= 0 {
+		t.Skip("chaos mode disabled (-fuzzshard.kill=0)")
+	}
+	n := *fuzzKill / 2
+	if n < 4 {
+		n = 4
+	}
+	runChaosDifferential(t, *fuzzSeed+7000, n,
+		func(t *testing.T) chaosCluster { return startKillableWorkers(t, 1) })
+}
+
+// TestShardDifferentialChaosKillForcedCollisions reruns the chaos
+// differential with every operator hash forced into one collision bucket,
+// so checkpoint restore rebuilds collision buckets too.
+func TestShardDifferentialChaosKillForcedCollisions(t *testing.T) {
+	if *fuzzKill <= 0 {
+		t.Skip("chaos mode disabled (-fuzzshard.kill=0)")
+	}
+	old := stream.SetTestHashMask(0)
+	t.Cleanup(func() { stream.SetTestHashMask(old) })
+	n := *fuzzKill / 2
+	if n < 4 {
+		n = 4
+	}
+	runChaosDifferential(t, *fuzzSeed+8000, n,
+		func(t *testing.T) chaosCluster { return startKillableWorkers(t, 2) })
 }

@@ -340,3 +340,64 @@ func TestShardableKeysSelection(t *testing.T) {
 		}
 	}
 }
+
+// TestSubstituteColsExprKinds drives the key-substitution rewriter through
+// every expression node kind: a DISTINCT over a projection whose computed
+// columns use unary, IS NULL, call, and literal-bearing binary shapes must
+// still shard one-phase (the key imposes through the substitution), while
+// a nondeterministic call must fail closed to a two-phase or serial plan.
+func TestSubstituteColsExprKinds(t *testing.T) {
+	s1 := data.NewSchema("S1", data.Col("a", data.TInt), data.Col("b", data.TInt))
+	s1.IsStream = true
+	scan := func() *Scan { return NewScan("S1", "t1", s1, nil, 10, false) }
+	mk := func(items ...stream.ProjectItem) Node {
+		p, err := NewProject(scan(), items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Distinct{In: p}
+	}
+	ok := mk(
+		stream.ProjectItem{Expr: expr.Un{Op: expr.OpNeg, X: expr.C("t1.a")}, Alias: "na"},
+		stream.ProjectItem{Expr: expr.IsNull{X: expr.C("t1.b")}, Alias: "nb"},
+		stream.ProjectItem{Expr: expr.Call{Name: "abs", Args: []expr.Expr{
+			expr.Bin{Op: expr.OpSub, L: expr.C("t1.a"), R: expr.L(3)}}}, Alias: "ca"},
+		stream.ProjectItem{Expr: expr.Bin{Op: expr.OpAdd, L: expr.L(1), R: expr.C("t1.b")}, Alias: "lb"},
+	)
+	strat, shardable := analyzeShard(ok)
+	if !shardable || strat.Split != nil {
+		t.Fatalf("deterministic computed keys must shard one-phase (ok=%v split=%v)",
+			shardable, strat != nil && strat.Split != nil)
+	}
+	// Every bindable builtin is deterministic today, so the fail-closed
+	// branch is only reachable directly: an unknown function must never be
+	// treated as a routable key expression.
+	if deterministicExpr(expr.Call{Name: "random"}) {
+		t.Fatal("unknown functions must fail the determinism check closed")
+	}
+	if !deterministicExpr(expr.Call{Name: "coalesce", Args: []expr.Expr{expr.C("t1.a"), expr.L(0)}}) {
+		t.Fatal("coalesce over columns is deterministic")
+	}
+	if deterministicExpr(expr.Call{Name: "abs", Args: []expr.Expr{expr.Call{Name: "now"}}}) {
+		t.Fatal("determinism must recurse into call arguments")
+	}
+}
+
+// TestMapThroughAggregateComputedKey: a computed key over an aggregate's
+// output maps below only when it references group columns; aggregate
+// value columns fail the substitution.
+func TestMapThroughAggregateComputedKey(t *testing.T) {
+	s1 := data.NewSchema("S1", data.Col("a", data.TInt), data.Col("b", data.TInt))
+	s1.IsStream = true
+	agg, err := NewAggregate(NewScan("S1", "t1", s1, nil, 10, false),
+		[]string{"t1.a"}, []stream.AggSpec{{Kind: stream.AggSum, Arg: expr.C("t1.b"), Alias: "s"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mapThroughAggregate(expr.Bin{Op: expr.OpMul, L: expr.C("t1.a"), R: expr.L(2)}, agg); !ok {
+		t.Fatal("group-column key must map through the aggregate")
+	}
+	if _, ok := mapThroughAggregate(expr.C("s"), agg); ok {
+		t.Fatal("aggregate value column must not map through")
+	}
+}

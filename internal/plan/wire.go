@@ -228,32 +228,40 @@ func (r *resultSink) PushBatch(ts []data.Tuple) { _ = r.send(ts) }
 // DeployReplica is the stream.DeployFunc of a shard worker: it decodes a
 // wire replica spec, compiles the subtree's operators (capped by a
 // PartialAggregate for two-phase plans) with results shipping back through
-// send, and returns the scan heads and replica windows for the worker's
-// frame loop to feed and tick.
-func DeployReplica(spec []byte, shard int, send stream.ResultSender) (map[string]stream.Operator, []stream.Advancer, error) {
+// send, optionally restores a failover checkpoint into them, and returns
+// the scan heads, replica windows, and stateful operators for the worker's
+// frame loop to feed, tick, and checkpoint.
+//
+// The checkpointer order is deterministic — the two-phase cap first, then
+// the stateful operators in compile (depth-first) order over the decoded
+// tree — so a checkpoint taken from one deployment of the spec restores
+// into any other, in any process.
+func DeployReplica(spec []byte, shard int, state []byte, send stream.ResultSender) (map[string]stream.Operator, []stream.Advancer, []stream.Checkpointer, error) {
 	var rep wireReplica
 	if err := gob.NewDecoder(bytes.NewReader(spec)).Decode(&rep); err != nil {
-		return nil, nil, fmt.Errorf("plan: decode replica spec: %w", err)
+		return nil, nil, nil, fmt.Errorf("plan: decode replica spec: %w", err)
 	}
 	root, err := decodeNode(rep.Root)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sinkSchema := root.Schema()
 	if rep.Partial != nil {
 		// Two-phase: the replica ships partial-state rows, not plan rows.
 		sinkSchema, err = stream.AggPartialSchema(root.Schema(), rep.Partial.GroupBy, rep.Partial.Specs)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
+	var cks []stream.Checkpointer
 	var out stream.Operator = &resultSink{schema: sinkSchema, send: send}
 	if rep.Partial != nil {
 		pa, err := stream.NewPartialAggregate(out, root.Schema(), rep.Partial.GroupBy, rep.Partial.Specs)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		out = pa
+		cks = append(cks, pa)
 	}
 	idx := map[*Scan]int{}
 	for i, sc := range Scans(root) {
@@ -267,11 +275,15 @@ func DeployReplica(spec []byte, shard int, send stream.ResultSender) (map[string
 			heads[scanName(idx[x])] = head
 			return nil
 		},
+		ck: func(k stream.Checkpointer) { cks = append(cks, k) },
 	}
 	if err := c.compile(root, out); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return heads, advs, nil
+	if err := stream.RestoreCheckpoint(cks, state); err != nil {
+		return nil, nil, nil, err
+	}
+	return heads, advs, cks, nil
 }
 
 // NewWorker starts a shard worker hosting remote plan replicas on addr —

@@ -59,6 +59,10 @@ type Options struct {
 	// replicas over — the paper's multi-PC deployment; "" entries keep a
 	// replica in-process. Empty runs everything in one process.
 	Nodes []string
+	// Failover redeploys the shards of a dead or stalled worker from
+	// their last checkpoint onto a surviving worker (or in-process),
+	// keeping query results exact across the loss.
+	Failover bool
 }
 
 // App is the running SmartCIS deployment.
@@ -140,6 +144,7 @@ func New(opts Options) (*App, error) {
 		RecursionDepth: len(b.Points()) / 2,
 		Parallelism:    opts.Parallelism,
 		Nodes:          opts.Nodes,
+		Failover:       opts.Failover,
 	})
 	if err := app.registerSources(opts); err != nil {
 		return nil, err

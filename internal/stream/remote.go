@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aspen/internal/data"
@@ -19,22 +20,31 @@ import (
 // flush/close barriers outward; result batches and acks back — so FIFO
 // ordering on the connection gives the same guarantees the in-process
 // queues do: a barrier ack arrives behind every result its data produced.
+//
+// With failover enabled (shard.go), each connection additionally keeps a
+// coordinator-side replay log of every frame sent and every result received
+// since the last committed checkpoint, and periodically asks the worker for
+// a checkpoint of its replica states. The FIFO position of the checkpoint
+// frame makes both logs exact: everything before it is subsumed by the
+// returned state, everything after it is what a redeployed replica must
+// undo (results) and replay (inputs).
 
 // remoteInflight bounds un-acked data/tick frames per connection: producers
 // block when a worker falls this far behind (backpressure instead of
 // unbounded kernel socket buffering).
 const remoteInflight = 32
 
-// remoteStallTimeout bounds every wait on a worker that keeps its TCP
-// session alive but stops responding: a peer that was never a shard worker
-// (a mistyped address, a plain engine Server — both drop shard frames
-// without acking), a SIGSTOPped worker process, or a blackholed link the
-// kernel still ACKs. Credit waits, socket writes, and the deploy/flush/
+// remoteStallTimeout is the default bound on every wait on a worker that
+// keeps its TCP session alive but stops responding: a peer that was never a
+// shard worker (a mistyped address, a plain engine Server — both drop shard
+// frames without acking), a SIGSTOPped worker process, or a blackholed link
+// the kernel still ACKs. Credit waits, socket writes, and the deploy/flush/
 // close barriers all mark the link broken (sticky) after it, so the
 // coordinator's tick loop and Close can stall at most once per connection
 // instead of deadlocking. The credit window bounds what a flush waits on
 // (≤ remoteInflight frames), so a live worker has orders-of-magnitude
-// headroom. Variable for tests.
+// headroom. Per-connection override: ShardConn.SetStallTimeout (plumbed
+// from plan.CompileOptions.StallTimeout); variable for tests.
 var remoteStallTimeout = 30 * time.Second
 
 // ResultSender ships one batch of replica output tuples back to the
@@ -42,10 +52,12 @@ var remoteStallTimeout = 30 * time.Second
 type ResultSender func(ts []data.Tuple) error
 
 // DeployFunc builds one shard replica from an opaque spec (encoded by the
-// plan layer). It returns the replica's entry points keyed by the
-// coordinator-chosen scan name, and the replica's time-driven operators
-// (windows), which tick frames advance on the connection's own goroutine.
-type DeployFunc func(spec []byte, shard int, send ResultSender) (heads map[string]Operator, advs []Advancer, err error)
+// plan layer), optionally restoring a checkpoint (nil state = fresh). It
+// returns the replica's entry points keyed by the coordinator-chosen scan
+// name, the replica's time-driven operators (windows), which tick frames
+// advance on the connection's own goroutine, and the replica's stateful
+// operators in deterministic order for checkpoint barriers.
+type DeployFunc func(spec []byte, shard int, state []byte, send ResultSender) (heads map[string]Operator, advs []Advancer, cks []Checkpointer, err error)
 
 // headKey names one replica entry point on a connection hosting several
 // shards: the coordinator and worker derive it identically.
@@ -54,7 +66,8 @@ func headKey(shard int, name string) string { return fmt.Sprintf("%d/%s", shard,
 // ShardWorker hosts remote shard replicas: it accepts coordinator
 // connections and serves the shard frame protocol — deploy builds replicas
 // through the DeployFunc, data frames push into replica heads, tick frames
-// advance replica windows, flush/close frames ack as barriers. All replica
+// advance replica windows, flush/close frames ack as barriers, checkpoint
+// frames reply with the replicas' encoded operator states. All replica
 // processing for one connection runs on that connection's decode goroutine,
 // preserving the single-writer discipline replica operators rely on.
 type ShardWorker struct {
@@ -95,6 +108,7 @@ func (w *ShardWorker) serveConn(conn net.Conn) {
 
 	heads := map[string]Operator{}
 	var advs []Advancer
+	cks := map[int][]Checkpointer{}
 	for {
 		var f frame
 		if err := dec.Decode(&f); err != nil {
@@ -104,7 +118,7 @@ func (w *ShardWorker) serveConn(conn net.Conn) {
 		}
 		switch f.Kind {
 		case frameDeploy:
-			h, a, err := w.deploy(f.Spec, f.Shard, send)
+			h, a, ck, err := w.deploy(f.Spec, f.Shard, f.State, send)
 			ack := frame{Kind: frameAck, Seq: f.Seq}
 			if err != nil {
 				ack.Err = err.Error()
@@ -113,6 +127,7 @@ func (w *ShardWorker) serveConn(conn net.Conn) {
 					heads[headKey(f.Shard, name)] = op
 				}
 				advs = append(advs, a...)
+				cks[f.Shard] = ck
 			}
 			if writeFrame(ack) != nil {
 				return
@@ -141,11 +156,23 @@ func (w *ShardWorker) serveConn(conn net.Conn) {
 			if writeFrame(frame{Kind: frameAck, Seq: f.Seq}) != nil {
 				return
 			}
+		case frameCheckpoint:
+			reply := frame{Kind: frameCkptState, Seq: f.Seq}
+			payload, err := encodeWorkerCheckpoint(cks)
+			if err != nil {
+				reply.Err = err.Error()
+			} else {
+				reply.Spec = payload
+			}
+			if writeFrame(reply) != nil {
+				return
+			}
 		case frameClose:
 			// Drop the replicas; the coordinator closes the connection after
 			// the ack.
 			heads = map[string]Operator{}
 			advs = nil
+			cks = map[int][]Checkpointer{}
 			if writeFrame(frame{Kind: frameAck, Seq: f.Seq}) != nil {
 				return
 			}
@@ -153,25 +180,160 @@ func (w *ShardWorker) serveConn(conn net.Conn) {
 	}
 }
 
+// logEntry is one replayable coordinator→worker frame: a data batch for a
+// named replica head, or (Tick set) a clock instant for every replica on
+// the connection.
+type logEntry struct {
+	shard int
+	name  string
+	batch []data.Tuple
+	tick  bool
+	now   vtime.Time
+}
+
+// connLog is the failover bookkeeping of one worker connection: the input
+// replay log and output undo log since the last committed checkpoint, the
+// last committed per-shard states, and the post-cutover redirect. in/out
+// are bounded in steady state by the checkpoint cadence (ckEvery ticks or
+// ckMaxLog entries, whichever comes first); between a failure and the end
+// of its failover they grow with whatever producers push, which the
+// exchange's bounded queues and the engine's tick cadence keep finite.
+type connLog struct {
+	mu      sync.Mutex
+	in      []logEntry
+	out     [][]data.Tuple
+	mark    int            // in-log position of the in-flight checkpoint
+	states  map[int][]byte // last committed checkpoint per shard
+	dropped bool           // failover finished with this connection: stop accumulating
+}
+
+func (l *connLog) append(e logEntry) (size int) {
+	l.mu.Lock()
+	if l.dropped {
+		l.mu.Unlock()
+		return 0
+	}
+	l.in = append(l.in, e)
+	size = len(l.in)
+	l.mu.Unlock()
+	return size
+}
+
+func (l *connLog) appendOut(batch []data.Tuple) {
+	l.mu.Lock()
+	l.out = append(l.out, batch)
+	l.mu.Unlock()
+}
+
+// setMark records the current in-log length as the consistency point of the
+// checkpoint frame about to be written. Caller holds the connection's write
+// lock, so the mark and the frame take the same position in the FIFO order.
+func (l *connLog) setMark() {
+	l.mu.Lock()
+	l.mark = len(l.in)
+	l.mu.Unlock()
+}
+
+// commit installs a decoded worker checkpoint: entries before the mark and
+// every output received so far (all FIFO-before the checkpoint reply) are
+// subsumed by the states.
+func (l *connLog) commit(payload []byte) error {
+	states, err := decodeWorkerCheckpoint(payload)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.in = append(l.in[:0:0], l.in[l.mark:]...)
+	l.mark = 0
+	l.out = nil
+	l.states = states
+	l.mu.Unlock()
+	return nil
+}
+
+// takeIn removes and returns every logged input entry.
+func (l *connLog) takeIn() []logEntry {
+	l.mu.Lock()
+	in := l.in
+	l.in = nil
+	l.mark = 0
+	l.mu.Unlock()
+	return in
+}
+
+// takeOut removes and returns the output undo log.
+func (l *connLog) takeOut() [][]data.Tuple {
+	l.mu.Lock()
+	out := l.out
+	l.out = nil
+	l.mu.Unlock()
+	return out
+}
+
+// statesCopy snapshots the committed per-shard checkpoint states.
+func (l *connLog) statesCopy() map[int][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[int][]byte, len(l.states))
+	for j, s := range l.states {
+		out[j] = s
+	}
+	return out
+}
+
+func (l *connLog) setState(shard int, state []byte) {
+	l.mu.Lock()
+	if l.states == nil {
+		l.states = map[int][]byte{}
+	}
+	l.states[shard] = state
+	l.mu.Unlock()
+}
+
+// drop ends the log's life: everything clears and later appends are
+// no-ops (an abandoned connection's sends must not accumulate forever).
+func (l *connLog) drop() {
+	l.mu.Lock()
+	l.dropped = true
+	l.in = nil
+	l.mark = 0
+	l.out = nil
+	l.states = nil
+	l.mu.Unlock()
+}
+
 // ShardConn is the coordinator side of one deployment's link to a
 // ShardWorker. Data batches and ticks consume bounded in-flight credits
-// (acks release them); deploy, flush, and close are sequence-matched
-// barriers. Result batches decoded by the reader goroutine push into the
-// deployment's merge sink, so per-connection FIFO makes a flush ack a
-// result-drain barrier too.
+// (acks release them); deploy, flush, close, and checkpoint are
+// sequence-matched barriers. Result batches decoded by the reader goroutine
+// push into the deployment's merge sink, so per-connection FIFO makes a
+// flush ack a result-drain barrier too.
 //
-// A transport failure is sticky: every later send drops (the deployment's
-// result simply stops updating from this worker, matching the engine's
-// lossy-link convention) and every waiting barrier fails fast.
+// A transport failure is sticky: every later send drops (with failover
+// disabled the deployment's result simply stops updating from this worker,
+// matching the engine's lossy-link convention) and every waiting barrier
+// fails fast. With failover enabled, the first failure also notifies the
+// owning ShardSet, post-failure sends keep landing in the replay log, and
+// the set redeploys the connection's shards elsewhere (see shard.go).
 type ShardConn struct {
 	addr string
 	conn net.Conn
 	enc  *gob.Encoder
-	wmu  sync.Mutex // serializes frame encodes across producers
+	wmu  sync.Mutex // serializes frame encodes (and log appends) across producers
 	sink Operator   // result funnel (the deployment's Merge)
 
 	credits chan struct{}
 	wg      sync.WaitGroup
+
+	// stall bounds every wait on an unresponsive worker; flog/onFail/ck*
+	// are the failover extensions (flog nil = disabled, the PR-4 behavior).
+	stall      time.Duration
+	flog       *connLog
+	onFail     func(*ShardConn)
+	ckEvery    int
+	ckMaxLog   int
+	ticks      atomic.Int64
+	ckInflight atomic.Bool
 
 	mu     sync.Mutex
 	seq    uint64
@@ -182,9 +344,21 @@ type ShardConn struct {
 }
 
 // DialShard connects a deployment to a ShardWorker; decoded result batches
-// push into sink.
+// push into sink. The connect attempt itself is bounded by the default
+// stall timeout (use dialShard to bound it tighter).
 func DialShard(addr string, sink Operator) (*ShardConn, error) {
-	conn, err := net.Dial("tcp", addr)
+	return dialShard(addr, sink, remoteStallTimeout)
+}
+
+// dialShard is DialShard with an explicit connect + stall bound: a
+// blackholed address fails within timeout instead of the kernel's connect
+// default — the failover path dials while holding the deployment's locks,
+// so every wait it performs must be bounded.
+func dialShard(addr string, sink Operator, timeout time.Duration) (*ShardConn, error) {
+	if timeout <= 0 {
+		timeout = remoteStallTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("stream: dial shard worker %s: %w", addr, err)
 	}
@@ -193,6 +367,7 @@ func DialShard(addr string, sink Operator) (*ShardConn, error) {
 		conn:    conn,
 		enc:     gob.NewEncoder(conn),
 		sink:    sink,
+		stall:   timeout,
 		credits: make(chan struct{}, remoteInflight),
 		waits:   map[uint64]chan error{},
 		done:    make(chan struct{}),
@@ -208,6 +383,40 @@ func DialShard(addr string, sink Operator) (*ShardConn, error) {
 // Addr returns the worker address this connection serves.
 func (c *ShardConn) Addr() string { return c.addr }
 
+// SetStallTimeout overrides the ack deadline for this connection: any flush
+// ack, barrier ack, credit, or socket write outstanding longer than d marks
+// the link broken — a stalled-but-connected worker becomes a detected
+// failure instead of an indefinite hang. Call before the connection is in
+// use; d <= 0 keeps the default.
+func (c *ShardConn) SetStallTimeout(d time.Duration) {
+	if d > 0 {
+		c.stall = d
+	}
+}
+
+// enableFailover turns on the replay/undo logs. Called by
+// ShardSet.SetRemote (or the failover machinery for replacement
+// connections) before any frame traffic.
+func (c *ShardConn) enableFailover(ckEvery, ckMaxLog int) {
+	c.flog = &connLog{}
+	c.ckEvery = ckEvery
+	c.ckMaxLog = ckMaxLog
+}
+
+// armFailover installs the sticky-failure notification. The set arms its
+// connections only once it starts (a failure during compile aborts the
+// compile instead); a failure that slipped in between is notified here, so
+// it is delivered exactly once either way.
+func (c *ShardConn) armFailover(onFail func(*ShardConn)) {
+	c.mu.Lock()
+	c.onFail = onFail
+	missed := c.err != nil && !c.closed
+	c.mu.Unlock()
+	if missed {
+		onFail(c)
+	}
+}
+
 // Err reports the sticky transport failure, if any.
 func (c *ShardConn) Err() error {
 	c.mu.Lock()
@@ -215,8 +424,9 @@ func (c *ShardConn) Err() error {
 	return c.err
 }
 
-// readLoop drains worker frames: results into the sink, credit acks back
-// into the send budget, barrier acks to their waiters.
+// readLoop drains worker frames: results into the sink (and the undo log),
+// credit acks back into the send budget, barrier acks to their waiters,
+// checkpoint states into the log's committed snapshot.
 func (c *ShardConn) readLoop() {
 	defer c.wg.Done()
 	dec := gob.NewDecoder(c.conn)
@@ -228,7 +438,21 @@ func (c *ShardConn) readLoop() {
 		}
 		switch f.Kind {
 		case frameResult:
+			if c.flog != nil {
+				c.flog.appendOut(f.Batch)
+			}
 			PushBatch(c.sink, f.Batch)
+		case frameCkptState:
+			// Decoded on the FIFO: every result before this reply is already
+			// in the undo log, so committing here truncates both logs at the
+			// exact consistency point of the checkpoint.
+			var err error
+			if f.Err != "" {
+				err = fmt.Errorf("stream: shard worker %s: checkpoint: %s", c.addr, f.Err)
+			} else if c.flog != nil {
+				err = c.flog.commit(f.Spec)
+			}
+			c.deliverAck(f.Seq, err)
 		case frameAck:
 			if f.Seq == 0 {
 				select {
@@ -241,31 +465,68 @@ func (c *ShardConn) readLoop() {
 			if f.Err != "" {
 				err = fmt.Errorf("stream: shard worker %s: %s", c.addr, f.Err)
 			}
-			c.mu.Lock()
-			ch, ok := c.waits[f.Seq]
-			delete(c.waits, f.Seq)
-			c.mu.Unlock()
-			if ok {
-				ch <- err
-			}
+			c.deliverAck(f.Seq, err)
 		}
 	}
 }
 
-// fail records the first transport error, wakes every barrier waiter, and
-// unblocks all senders.
+// deliverAck hands a sequence-matched ack to its waiter.
+func (c *ShardConn) deliverAck(seq uint64, err error) {
+	c.mu.Lock()
+	ch, ok := c.waits[seq]
+	delete(c.waits, seq)
+	c.mu.Unlock()
+	if ok {
+		ch <- err
+	}
+}
+
+// fail records the first transport error, notifies the failover machinery,
+// wakes every barrier waiter, and unblocks all senders. The notification
+// runs before the waiters wake, so whoever observes a failed barrier (a
+// Flush, a deploy) already finds the failover pending.
 func (c *ShardConn) fail(err error) {
 	c.mu.Lock()
-	if c.err == nil {
-		c.err = err
-		close(c.done)
+	if c.err != nil {
+		c.mu.Unlock()
+		return
 	}
+	c.err = err
+	close(c.done)
+	notify := !c.closed && c.onFail != nil
 	waits := c.waits
 	c.waits = map[uint64]chan error{}
 	c.mu.Unlock()
+	if notify {
+		c.onFail(c)
+	}
 	for _, ch := range waits {
 		ch <- err
 	}
+}
+
+// severLink tears the transport down and waits for the reader to exit, so
+// no further results can reach the sink or the undo log. Idempotent; the
+// failover machinery calls it before taking the logs.
+func (c *ShardConn) severLink() {
+	c.mu.Lock()
+	var waits map[uint64]chan error
+	if c.err == nil {
+		// Stall-detected failures leave the socket open; close it so the
+		// reader observes the failure too. Waiters wake like on any other
+		// sticky failure, but the failover machinery (our caller) is not
+		// re-notified.
+		c.err = fmt.Errorf("stream: shard link %s: severed for failover", c.addr)
+		close(c.done)
+		waits = c.waits
+		c.waits = map[uint64]chan error{}
+	}
+	c.mu.Unlock()
+	for _, ch := range waits {
+		ch <- c.Err()
+	}
+	c.conn.Close()
+	c.wg.Wait()
 }
 
 // write encodes one frame under the write lock. The write deadline keeps
@@ -276,9 +537,15 @@ func (c *ShardConn) write(f frame) error {
 		return err // broken link: drop instead of touching the dead socket
 	}
 	c.wmu.Lock()
-	c.conn.SetWriteDeadline(time.Now().Add(remoteStallTimeout))
-	err := c.enc.Encode(f)
+	err := c.writeLocked(f)
 	c.wmu.Unlock()
+	return err
+}
+
+// writeLocked is write with c.wmu already held.
+func (c *ShardConn) writeLocked(f frame) error {
+	c.conn.SetWriteDeadline(time.Now().Add(c.stall))
+	err := c.enc.Encode(f)
 	if err != nil {
 		err = fmt.Errorf("stream: shard link %s: %w", c.addr, err)
 		c.fail(err)
@@ -286,12 +553,12 @@ func (c *ShardConn) write(f frame) error {
 	return err
 }
 
-// sendCredit encodes a credit-consuming frame (data or tick), blocking
-// while remoteInflight frames are un-acked. A worker that stops acking
-// entirely fails the link after remoteStallTimeout instead of wedging the
-// sender (which may be the engine tick loop) under the set's lock. The
-// uncontended path takes no timer (and allocates nothing).
-func (c *ShardConn) sendCredit(f frame) error {
+// acquireCredit takes one in-flight credit, blocking while remoteInflight
+// frames are un-acked. A worker that stops acking entirely fails the link
+// after the stall timeout instead of wedging the sender (which may be the
+// engine tick loop) under the set's lock. The uncontended path takes no
+// timer (and allocates nothing).
+func (c *ShardConn) acquireCredit() error {
 	// Sticky failure: drop immediately, per the documented contract —
 	// without this, a send could race the closed done channel, win a
 	// leftover credit, and block on the dead socket's write deadline.
@@ -304,7 +571,7 @@ func (c *ShardConn) sendCredit(f frame) error {
 		return c.Err()
 	default:
 		// Credit window exhausted: wait, but never forever.
-		stall := time.NewTimer(remoteStallTimeout)
+		stall := time.NewTimer(c.stall)
 		select {
 		case <-c.credits:
 			stall.Stop()
@@ -313,39 +580,95 @@ func (c *ShardConn) sendCredit(f frame) error {
 			return c.Err()
 		case <-stall.C:
 			err := fmt.Errorf("stream: shard link %s: no ack in %s (worker stalled?)",
-				c.addr, remoteStallTimeout)
+				c.addr, c.stall)
 			c.fail(err)
 			return err
 		}
 	}
+	return nil
+}
+
+// sendCredit encodes a credit-consuming frame (data or tick). Without
+// failover this is the whole send path; with it, sendEntry wraps the same
+// steps around the replay log.
+func (c *ShardConn) sendCredit(f frame) error {
+	if err := c.acquireCredit(); err != nil {
+		return err
+	}
 	return c.write(f)
+}
+
+// sendEntry ships one replayable frame. With failover enabled the entry is
+// appended to the replay log under the write lock — the log order is the
+// wire order — whether or not the link still delivers, so a redeployed
+// replica can replay exactly what the lost worker was sent.
+func (c *ShardConn) sendEntry(e logEntry, f frame) error {
+	if c.flog == nil {
+		return c.sendCredit(f)
+	}
+	live := c.Err() == nil
+	if live && c.acquireCredit() != nil {
+		live = false
+	}
+	c.wmu.Lock()
+	size := c.flog.append(e)
+	var err error
+	if live && c.Err() == nil {
+		err = c.writeLocked(f)
+	} else {
+		err = c.Err()
+	}
+	c.wmu.Unlock()
+	if err == nil && size >= c.ckMaxLog && !c.ckInflight.Load() {
+		// The replay log is getting long: checkpoint so it can truncate.
+		// The Load is advisory (checkpoint re-checks under the CAS); it
+		// keeps a fast producer from spawning a goroutine per batch while
+		// one checkpoint round trip is already in flight.
+		go c.checkpoint()
+	}
+	return err
 }
 
 // barrier encodes a sequence-matched frame and waits for its ack, marking
 // the link broken if none comes within the stall timeout.
 func (c *ShardConn) barrier(f frame) error {
+	ch, seq, err := c.registerWait()
+	if err != nil {
+		return err
+	}
+	f.Seq = seq
+	if err := c.write(f); err != nil {
+		return err
+	}
+	return c.awaitAck(ch, "worker stalled, or not a shard worker?")
+}
+
+// registerWait allocates a barrier sequence number and its ack channel.
+func (c *ShardConn) registerWait() (chan error, uint64, error) {
 	ch := make(chan error, 1)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return err
+		return nil, 0, err
 	}
 	c.seq++
-	f.Seq = c.seq
-	c.waits[f.Seq] = ch
+	seq := c.seq
+	c.waits[seq] = ch
 	c.mu.Unlock()
-	if err := c.write(f); err != nil {
-		return err
-	}
-	stall := time.NewTimer(remoteStallTimeout)
+	return ch, seq, nil
+}
+
+// awaitAck waits for a registered barrier ack under the stall deadline.
+func (c *ShardConn) awaitAck(ch chan error, why string) error {
+	stall := time.NewTimer(c.stall)
 	defer stall.Stop()
 	select {
 	case err := <-ch:
 		return err
 	case <-stall.C:
-		c.fail(fmt.Errorf("stream: shard link %s: no barrier ack in %s (worker stalled, or not a shard worker?)",
-			c.addr, remoteStallTimeout))
+		c.fail(fmt.Errorf("stream: shard link %s: no barrier ack in %s (%s)",
+			c.addr, c.stall, why))
 		// fail delivered the error to every registered waiter — but the
 		// real ack may have raced the timeout and buffered nil into ch
 		// first. The link is broken either way now, so never report
@@ -357,32 +680,89 @@ func (c *ShardConn) barrier(f frame) error {
 	}
 }
 
-// Deploy ships a replica spec for the given shard and waits for the
-// worker's compile to succeed or fail.
-func (c *ShardConn) Deploy(spec []byte, shard int) error {
-	return c.barrier(frame{Kind: frameDeploy, Spec: spec, Shard: shard})
+// Deploy ships a replica spec for the given shard, with an optional
+// checkpoint to restore (nil = fresh), and waits for the worker's compile
+// to succeed or fail. A successful deploy records the state as the shard's
+// committed checkpoint, so a failover chain never loses the state a replica
+// was seeded with.
+func (c *ShardConn) Deploy(spec []byte, shard int, state []byte) error {
+	err := c.barrier(frame{Kind: frameDeploy, Spec: spec, Shard: shard, State: state})
+	if err == nil && c.flog != nil {
+		c.flog.setState(shard, state)
+	}
+	return err
+}
+
+// checkpoint runs one checkpoint barrier: it marks the replay-log position
+// under the write lock (the FIFO consistency point), asks the worker for
+// its replica states, and lets the read loop commit them. At most one
+// checkpoint is in flight per connection; failures leave the logs intact
+// (the next failover simply replays more).
+func (c *ShardConn) checkpoint() {
+	if c.flog == nil || !c.ckInflight.CompareAndSwap(false, true) {
+		return
+	}
+	defer c.ckInflight.Store(false)
+	ch, seq, err := c.registerWait()
+	if err != nil {
+		return
+	}
+	c.wmu.Lock()
+	if c.Err() != nil {
+		c.wmu.Unlock()
+		return
+	}
+	c.flog.setMark()
+	err = c.writeLocked(frame{Kind: frameCheckpoint, Seq: seq})
+	c.wmu.Unlock()
+	if err != nil {
+		return
+	}
+	_ = c.awaitAck(ch, "checkpoint unanswered")
+}
+
+// Checkpoint runs one synchronous checkpoint barrier (tests and shutdown
+// paths; steady-state checkpoints self-schedule off the tick cadence).
+func (c *ShardConn) Checkpoint() {
+	c.checkpoint()
 }
 
 // SendBatch ships one data batch to the named replica head of a shard.
 // After it returns, the batch buffer may be reused: gob has copied the
-// tuples onto the wire.
+// tuples onto the wire (and the replay log keeps only the tuples, which the
+// pipeline owns).
 func (c *ShardConn) SendBatch(shard int, name string, ts []data.Tuple) error {
-	return c.sendBatchKey(headKey(shard, name), ts)
-}
-
-// sendBatchKey is SendBatch with the wire key precomposed (RemoteHead
-// caches it, keeping the exchange's per-batch path free of formatting
-// allocations).
-func (c *ShardConn) sendBatchKey(key string, ts []data.Tuple) error {
 	if len(ts) == 0 {
 		return nil
 	}
-	return c.sendCredit(frame{Kind: frameData, Input: key, Batch: ts})
+	return c.sendShard(shard, name, headKey(shard, name), ts)
 }
 
-// Tick advances every replica window deployed over this connection.
+// sendShard is SendBatch with the wire key precomposed (RemoteHead caches
+// it, keeping the exchange's per-batch path free of formatting
+// allocations).
+func (c *ShardConn) sendShard(shard int, name, key string, ts []data.Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	var e logEntry
+	if c.flog != nil {
+		// The pipeline owns pushed tuples (nobody mutates them after the
+		// send), so the log retains them without cloning values.
+		e = logEntry{shard: shard, name: name, batch: append([]data.Tuple(nil), ts...)}
+	}
+	return c.sendEntry(e, frame{Kind: frameData, Input: key, Batch: ts})
+}
+
+// Tick advances every replica window deployed over this connection, and
+// paces the checkpoint cadence: every ckEvery-th tick schedules an
+// asynchronous checkpoint barrier.
 func (c *ShardConn) Tick(now vtime.Time) error {
-	return c.sendCredit(frame{Kind: frameTick, Now: now})
+	err := c.sendEntry(logEntry{tick: true, now: now}, frame{Kind: frameTick, Now: now})
+	if c.flog != nil && c.ckEvery > 0 && c.ticks.Add(1)%int64(c.ckEvery) == 0 && !c.ckInflight.Load() {
+		go c.checkpoint()
+	}
+	return err
 }
 
 // Flush barriers the connection: when it returns nil, every batch and tick
@@ -415,13 +795,15 @@ func (c *ShardConn) Close() error {
 type RemoteHead struct {
 	schema *data.Schema
 	conn   *ShardConn
+	shard  int
+	name   string
 	key    string
 }
 
 // Head builds the stand-in for the named entry point of a shard deployed
 // over this connection.
 func (c *ShardConn) Head(schema *data.Schema, shard int, name string) *RemoteHead {
-	return &RemoteHead{schema: schema, conn: c, key: headKey(shard, name)}
+	return &RemoteHead{schema: schema, conn: c, shard: shard, name: name, key: headKey(shard, name)}
 }
 
 // Schema implements Operator.
@@ -430,10 +812,10 @@ func (h *RemoteHead) Schema() *data.Schema { return h.schema }
 // Push implements Operator: the tuple ships as a singleton batch.
 func (h *RemoteHead) Push(t data.Tuple) {
 	batch := [1]data.Tuple{t}
-	_ = h.conn.sendBatchKey(h.key, batch[:])
+	_ = h.conn.sendShard(h.shard, h.name, h.key, batch[:])
 }
 
 // PushBatch implements BatchOperator.
 func (h *RemoteHead) PushBatch(ts []data.Tuple) {
-	_ = h.conn.sendBatchKey(h.key, ts)
+	_ = h.conn.sendShard(h.shard, h.name, h.key, ts)
 }

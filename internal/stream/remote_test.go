@@ -30,13 +30,17 @@ func (s *sendSink) PushBatch(ts []data.Tuple) { _ = s.send(ts) }
 
 // echoDeploy builds a windowed echo replica: tuples flow through a 2m time
 // window back to the coordinator, so expiry deletions exercise the tick
-// path. A spec of "fail" rejects the deploy.
-func echoDeploy(spec []byte, shard int, send ResultSender) (map[string]Operator, []Advancer, error) {
+// path. A spec of "fail" rejects the deploy; a checkpoint restores into
+// the window.
+func echoDeploy(spec []byte, shard int, state []byte, send ResultSender) (map[string]Operator, []Advancer, []Checkpointer, error) {
 	if string(spec) == "fail" {
-		return nil, nil, errors.New("replica spec rejected")
+		return nil, nil, nil, errors.New("replica spec rejected")
 	}
 	win := NewTimeWindow(&sendSink{schema: tempSchema(), send: send}, 2*time.Minute, 0)
-	return map[string]Operator{"s0": win}, []Advancer{win}, nil
+	if err := RestoreCheckpoint([]Checkpointer{win}, state); err != nil {
+		return nil, nil, nil, err
+	}
+	return map[string]Operator{"s0": win}, []Advancer{win}, []Checkpointer{win}, nil
 }
 
 func startEchoWorker(t *testing.T) *ShardWorker {
@@ -62,7 +66,7 @@ func TestShardConnRoundtrip(t *testing.T) {
 	if c.Addr() != w.Addr() {
 		t.Fatalf("conn addr %s, want %s", c.Addr(), w.Addr())
 	}
-	if err := c.Deploy(nil, 0); err != nil {
+	if err := c.Deploy(nil, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -127,11 +131,11 @@ func TestShardConnDeployError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Deploy([]byte("fail"), 0); err == nil {
+	if err := c.Deploy([]byte("fail"), 0, nil); err == nil {
 		t.Fatal("rejected spec must fail the deploy barrier")
 	}
 	// The connection survives a failed deploy.
-	if err := c.Deploy(nil, 0); err != nil {
+	if err := c.Deploy(nil, 0, nil); err != nil {
 		t.Fatalf("deploy after failed deploy: %v", err)
 	}
 }
@@ -149,7 +153,7 @@ func TestShardSetMixedLocalRemote(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Deploy(nil, 1); err != nil {
+	if err := c.Deploy(nil, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -222,7 +226,7 @@ func TestShardConnDeploySilentPeerTimesOut(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- c.Deploy(nil, 0) }()
+	go func() { done <- c.Deploy(nil, 0, nil) }()
 	select {
 	case err := <-done:
 		if err == nil {
@@ -275,7 +279,7 @@ func TestShardConnStalledWorker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Deploy(nil, 0); err != nil {
+	if err := c.Deploy(nil, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan struct{})
@@ -325,7 +329,7 @@ func TestShardSetAllRemoteTwoWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Deploy(nil, j); err != nil {
+		if err := c.Deploy(nil, j, nil); err != nil {
 			t.Fatal(err)
 		}
 		set.SetRemote(j, c)

@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"aspen/internal/data"
 	"aspen/internal/expr"
@@ -50,6 +51,94 @@ type shardMsg struct {
 	kind  shardMsgKind
 }
 
+// FailoverConfig arms a ShardSet with everything it needs to redeploy the
+// shards of a lost worker: the replica wire spec, the candidate worker
+// addresses, the merged result sink replacement replicas emit into, and a
+// builder for the in-process last resort.
+type FailoverConfig struct {
+	// Spec is the encoded replica subplan every worker shard was deployed
+	// from (plan.encodeReplica); redeployments ship the same spec.
+	Spec []byte
+	// Nodes lists worker addresses failover may dial for a replacement
+	// (typically the deployment's original topology). The failed address is
+	// skipped; a restarted worker on the same address is usable again by
+	// the next failover.
+	Nodes []string
+	// Sink is the deployment's merge funnel: replacement connections decode
+	// results into it, undo retractions push through it, and in-process
+	// replacement replicas emit into it.
+	Sink Operator
+	// LocalDeploy builds an in-process replica from Spec (the same builder
+	// shard workers run, plan.DeployReplica) — the last-resort host when no
+	// worker is reachable.
+	LocalDeploy DeployFunc
+	// CheckpointEvery is the tick cadence of worker checkpoints (default 8
+	// ticks); CheckpointMaxLog forces a checkpoint once a connection's
+	// replay log holds that many entries (default 256), bounding replay
+	// work and log memory between ticks.
+	CheckpointEvery  int
+	CheckpointMaxLog int
+	// StallTimeout bounds every ack wait on replacement connections dialed
+	// by failover (0 = the package default); the plan layer applies the
+	// same bound to the original connections.
+	StallTimeout time.Duration
+	// OnFailover, when set, observes every completed (or abandoned)
+	// failover — tests and operators hook it. It runs with no operator
+	// locks held, but before the failover is accounted finished, so it
+	// must not call Flush/Snapshot (they wait for pending failovers).
+	OnFailover func(FailoverEvent)
+}
+
+// FailoverEvent describes one failover outcome.
+type FailoverEvent struct {
+	// Shards lists the shard indexes that moved.
+	Shards []int
+	// From is the lost worker's address; To is the replacement worker
+	// address, or "" for an in-process replacement.
+	From, To string
+	// Err, when non-nil, reports that every candidate was exhausted and the
+	// shards were abandoned (the pre-failover fail-stop behavior).
+	Err error
+}
+
+// failoverRuntime is the ShardSet's failover bookkeeping.
+type failoverRuntime struct {
+	cfg FailoverConfig
+	// fmu serializes failovers: a double failure queues behind the first.
+	fmu sync.Mutex
+	// pending counts scheduled-but-unfinished failovers; Flush waits for it
+	// to reach zero so its barrier covers replayed work.
+	pmu     sync.Mutex
+	cond    *sync.Cond
+	pending int
+}
+
+func (f *failoverRuntime) schedule() {
+	f.pmu.Lock()
+	f.pending++
+	f.pmu.Unlock()
+}
+
+func (f *failoverRuntime) finish() {
+	f.pmu.Lock()
+	f.pending--
+	f.cond.Broadcast()
+	f.pmu.Unlock()
+}
+
+// waitIdle blocks until no failover is pending and reports whether it had
+// to wait.
+func (f *failoverRuntime) waitIdle() bool {
+	f.pmu.Lock()
+	defer f.pmu.Unlock()
+	waited := false
+	for f.pending > 0 {
+		waited = true
+		f.cond.Wait()
+	}
+	return waited
+}
+
 // ShardSet is the runtime of one partition-parallel deployment: P worker
 // goroutines, their queues, a shared freelist of batch buffers, and the
 // per-shard Advancers (replica windows) that clock ticks fan out to.
@@ -60,6 +149,51 @@ type shardMsg struct {
 // ticks, still-subscribed Sharders) are live: the set drops everything
 // sent after the close instead of panicking, matching the engine's
 // "stopped queries abandon their operator state" convention.
+//
+// # Failover state machine
+//
+// With EnableFailover, a remote shard moves through these states:
+//
+//	SERVING ──(sticky link error: reset, EOF, missed flush-ack or
+//	│          credit deadline)──▶ QUARANTINED
+//	│
+//	│   QUARANTINED: the connection's sends stop reaching the worker but
+//	│   keep appending to its replay log, so nothing pushed during the
+//	│   outage is lost; results can no longer arrive (the link is severed
+//	│   before the logs are read). fail() notifies the set before any
+//	│   barrier waiter observes the error, so Flush always finds the
+//	│   failover pending and waits it out.
+//	│
+//	QUARANTINED ──(acquire every Sharder lock and the set lock: all
+//	│              producers and the tick fan-out are excluded, so the
+//	│              replay log is final)──▶ RESTORING
+//	│
+//	RESTORING (still under the locks):
+//	│   1. undo — retract the connection's un-checkpointed output from
+//	│      the sink, newest first (delta operators unwind exactly under
+//	│      reverse-order inverse application);
+//	│   2. redeploy — ship the replica spec plus the last committed
+//	│      checkpoint to a surviving connection, a freshly dialed Nodes
+//	│      worker, or in-process via LocalDeploy;
+//	│   3. replay — deliver the logged inputs in wire order. Holding the
+//	│      locks through the deploy matters: a replica must never receive
+//	│      a live clock tick before its replayed (older) input, or its
+//	│      windows would advance past tuples that still have to arrive.
+//	│
+//	RESTORING ──(flip exchange heads and shard routing to the new home,
+//	│            release the locks)──▶ SERVING. Deployment.Flush/Snapshot
+//	│            barriers are exact throughout: the undo/replay pair
+//	│            restores exactly-once delivery, and Flush waits out any
+//	│            pending failover before trusting a barrier.
+//	│
+//	└──(every candidate exhausted)──▶ ABANDONED (fail-stop: the shard's
+//	    contribution freezes at its last checkpoint minus the undo;
+//	    reported via OnFailover.Err)
+//
+// A replacement that dies mid-restore is handled by the same machine: its
+// own failure queues a failover that undoes whatever the partial replay
+// emitted, while the original failover retries the next candidate with the
+// full backlog.
 type ShardSet struct {
 	p      int
 	queues []chan shardMsg
@@ -72,6 +206,10 @@ type ShardSet struct {
 	// once, for tick fan-out and barriers.
 	conns  []*ShardConn
 	uconns []*ShardConn
+	// sharders lists the set's exchanges; failover rewires their per-shard
+	// heads when a replica moves.
+	sharders []*Sharder
+	fo       *failoverRuntime
 	// mu serializes in-flight queue sends against Close: senders hold it
 	// for reading (per batch, not per tuple), Close for writing.
 	mu      sync.RWMutex
@@ -100,15 +238,37 @@ func NewShardSet(p int) *ShardSet {
 // Shards returns the partition width P.
 func (s *ShardSet) Shards() int { return s.p }
 
+// EnableFailover arms checkpointed redeploy of lost workers. Must be
+// called before any SetRemote registration (the connections are wired for
+// logging and failure notification as they register).
+func (s *ShardSet) EnableFailover(cfg FailoverConfig) {
+	if s.started {
+		panic("stream: ShardSet.EnableFailover after Start")
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 8
+	}
+	if cfg.CheckpointMaxLog <= 0 {
+		cfg.CheckpointMaxLog = 256
+	}
+	s.fo = &failoverRuntime{cfg: cfg}
+	s.fo.cond = sync.NewCond(&s.fo.pmu)
+}
+
 // SetRemote marks shard j as living behind a ShardWorker connection (its
 // replica was deployed there; the Sharder's head for j is a RemoteHead on
 // the same connection). Must be called before Start. The set takes
-// ownership of the connection: Close barriers and closes it.
+// ownership of the connection: Close barriers and closes it. With failover
+// enabled, the connection is armed for replay logging and failure
+// notification.
 func (s *ShardSet) SetRemote(j int, c *ShardConn) {
 	if s.started {
 		panic("stream: ShardSet.SetRemote after Start")
 	}
 	s.conns[j] = c
+	if s.fo != nil && c.flog == nil {
+		c.enableFailover(s.fo.cfg.CheckpointEvery, s.fo.cfg.CheckpointMaxLog)
+	}
 	for _, u := range s.uconns {
 		if u == c {
 			return
@@ -144,6 +304,13 @@ func (s *ShardSet) Start() {
 		}
 		s.wg.Add(1)
 		go s.worker(j)
+	}
+	if s.fo != nil {
+		// Arm failure notification only now: a worker lost during compile
+		// fails the compile; one lost from here on fails over.
+		for _, c := range s.uconns {
+			c.armFailover(s.connFailed)
+		}
 	}
 }
 
@@ -195,11 +362,13 @@ func (s *ShardSet) send(j int, head Operator, batch []data.Tuple) {
 		// Ship outside the lock: a stalled worker then blocks only this
 		// producer, never a pending Close (and through the writer-pending
 		// RWMutex, every other producer). A send racing Close lands on a
-		// failed/closing link and drops there (sticky), and a dead link
-		// drops the batch the same way — the shard's contribution stops
-		// updating, like any lossy link.
+		// failed/closing link and drops there (sticky); on a dead link the
+		// batch lands in the replay log when failover is armed — the
+		// quarantined shard's traffic replays onto its replacement — and
+		// drops like any lossy link otherwise.
 		s.mu.RUnlock()
-		_ = c.sendBatchKey(head.(*RemoteHead).key, batch)
+		rh := head.(*RemoteHead)
+		_ = c.sendShard(rh.shard, rh.name, rh.key, batch)
 		s.recycle(batch)
 		return
 	}
@@ -223,16 +392,19 @@ func (s *ShardSet) recycle(batch []data.Tuple) {
 // backpressure); Flush waits for the expiry work. Ticks after Close are
 // dropped (the engine has no untrack).
 //
-// Worker connections tick concurrently, outside the set's lock: one
+// Worker connections tick concurrently under the set's read lock: one
 // stalled worker costs the engine tick loop at most one stall timeout
-// (once — the link error is sticky), not one per connection, and a
-// pending Close is never starved of the write lock. The wait keeps
-// successive ticks ordered per connection; cross-connection order is
-// free, as with the local queues.
+// (once — the link error is sticky), not one per connection. The wait
+// keeps successive ticks ordered per connection; cross-connection order
+// is free, as with the local queues. Holding the read lock across the
+// fan-out is what failover relies on for ordering: a restore (which holds
+// the write lock) can never interleave a live tick between a replica's
+// checkpoint and its replayed input. Close and failover therefore wait at
+// most one bounded tick fan-out for the write lock.
 func (s *ShardSet) Advance(now vtime.Time) {
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
-		s.mu.RUnlock()
 		return
 	}
 	for j := 0; j < s.p; j++ {
@@ -241,16 +413,12 @@ func (s *ShardSet) Advance(now vtime.Time) {
 		}
 		s.queues[j] <- shardMsg{kind: msgTick, now: now}
 	}
-	conns := s.uconns
-	s.mu.RUnlock()
-	// A tick racing a concurrent Close lands on a closed/failed link and
-	// drops there (sticky), like any post-Close send.
-	if len(conns) == 1 {
-		_ = conns[0].Tick(now) // common case: no fan-out machinery
+	if len(s.uconns) == 1 {
+		_ = s.uconns[0].Tick(now) // common case: no fan-out machinery
 		return
 	}
 	var wg sync.WaitGroup
-	for _, c := range conns {
+	for _, c := range s.uconns {
 		wg.Add(1)
 		go func(c *ShardConn) {
 			defer wg.Done()
@@ -264,12 +432,32 @@ func (s *ShardSet) Advance(now vtime.Time) {
 // ticks alike — has been fully processed, establishing a barrier: after
 // Flush, the merged sink reflects everything pushed so far. Producers must
 // be quiet for the barrier to be meaningful.
+//
+// With failover enabled the barrier stays exact across worker loss: a
+// failed connection barrier means a failover is already pending (fail()
+// notifies before waking waiters), so Flush waits for the redeploy/replay
+// to finish and barriers the new topology again.
 func (s *ShardSet) Flush() {
+	for {
+		ok := s.flushOnce()
+		if s.fo == nil {
+			return
+		}
+		waited := s.fo.waitIdle()
+		if ok && !waited {
+			return
+		}
+	}
+}
+
+// flushOnce runs one barrier pass over the current topology, reporting
+// whether every connection barrier succeeded.
+func (s *ShardSet) flushOnce() bool {
 	var wg sync.WaitGroup
 	s.mu.RLock()
 	if !s.started || s.closed {
 		s.mu.RUnlock()
-		return
+		return true
 	}
 	for j := 0; j < s.p; j++ {
 		if s.conns[j] != nil {
@@ -280,16 +468,26 @@ func (s *ShardSet) Flush() {
 	}
 	// Remote barriers run concurrently with the local drain: each flush ack
 	// arrives behind the worker's results (FIFO), so when Wait returns the
-	// merged sink reflects every replica. A dead link acks vacuously.
-	for _, c := range s.uconns {
+	// merged sink reflects every replica. Without failover a dead link acks
+	// vacuously (fail-stop); with it, the error reruns the barrier after
+	// the failover completes.
+	uconns := s.uconns
+	errs := make([]error, len(uconns))
+	for i, c := range uconns {
 		wg.Add(1)
-		go func(c *ShardConn) {
+		go func(i int, c *ShardConn) {
 			defer wg.Done()
-			_ = c.Flush()
-		}(c)
+			errs[i] = c.Flush()
+		}(i, c)
 	}
 	s.mu.RUnlock()
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Close drains the queues, stops the local workers, and barrier-closes
@@ -310,12 +508,13 @@ func (s *ShardSet) Close() {
 		}
 		close(s.queues[j]) // workers drain buffered messages, then exit
 	}
+	conns := s.uconns
 	s.mu.Unlock()
 	s.wg.Wait()
 	// Connection teardowns are acked round trips: run them concurrently so
 	// closing an N-worker deployment costs one RTT, not N (like Flush).
 	var cwg sync.WaitGroup
-	for _, c := range s.uconns {
+	for _, c := range conns {
 		cwg.Add(1)
 		go func(c *ShardConn) {
 			defer cwg.Done()
@@ -323,6 +522,288 @@ func (s *ShardSet) Close() {
 		}(c)
 	}
 	cwg.Wait()
+}
+
+// connFailed is the sticky-failure hook of every failover-armed connection:
+// it registers the pending failover synchronously (so barriers observing
+// the failure find it) and runs the redeploy asynchronously (fail() may be
+// on the engine tick loop or a producer).
+func (s *ShardSet) connFailed(c *ShardConn) {
+	s.fo.schedule()
+	go s.runFailover(c)
+}
+
+// failoverTarget is one candidate home for the shards of a lost worker:
+// a replacement connection, or (conn nil) in-process replicas.
+type failoverTarget struct {
+	conn  *ShardConn
+	fresh bool // dialed by this failover: ours to close until cutover
+	addr  string
+	heads map[int]map[string]Operator // local replica heads per shard
+	advs  map[int][]Advancer          // local replica windows per shard
+}
+
+// deliver replays logged entries into the target, in log (= wire) order.
+// Local replicas are delivered directly: until cutover this goroutine is
+// their only writer.
+func (t *failoverTarget) deliver(entries []logEntry) error {
+	for _, e := range entries {
+		if t.conn != nil {
+			var err error
+			if e.tick {
+				err = t.conn.Tick(e.now)
+			} else {
+				err = t.conn.sendShard(e.shard, e.name, headKey(e.shard, e.name), e.batch)
+			}
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if e.tick {
+			for _, advs := range t.advs {
+				for _, a := range advs {
+					a.Advance(e.now)
+				}
+			}
+		} else if h := t.heads[e.shard][e.name]; h != nil {
+			PushBatch(h, e.batch)
+		}
+	}
+	return nil
+}
+
+// runFailover moves every shard of a failed connection onto a new home:
+// sever → lock out producers and ticks → undo → restore (deploy
+// checkpoint + replay log) → flip routing. See the state-machine comment
+// on ShardSet.
+//
+// The OnFailover hook fires after every operator lock is released (the
+// hook may push or inspect the deployment) but before the failover is
+// accounted finished, so a Flush concurrent with it still waits the event
+// out — which also means the hook itself must not call Flush/Snapshot.
+func (s *ShardSet) runFailover(failed *ShardConn) {
+	defer s.fo.finish()
+	ev := s.failover(failed)
+	if ev != nil && s.fo.cfg.OnFailover != nil {
+		s.fo.cfg.OnFailover(*ev)
+	}
+}
+
+// failover is runFailover's locked core; it returns the event to report.
+func (s *ShardSet) failover(failed *ShardConn) *FailoverEvent {
+	s.fo.fmu.Lock()
+	defer s.fo.fmu.Unlock()
+
+	// Sever: the reader is down once this returns, so the undo log is
+	// final; producers keep appending inputs to the replay log until the
+	// locks below exclude them.
+	failed.severLink()
+
+	// Exclude every appender: data producers hold their Sharder's lock
+	// through route-and-send, and the tick fan-out holds the set's read
+	// lock through delivery. Under all of them the replay log is final and
+	// — critically — no live tick can reach a redeployed replica before
+	// its replayed (older) input does.
+	s.mu.RLock()
+	sharders := s.sharders
+	s.mu.RUnlock()
+	for _, sh := range sharders {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range sharders {
+			sh.mu.Unlock()
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+
+	var moved []int
+	for j := 0; j < s.p; j++ {
+		if s.conns[j] == failed {
+			moved = append(moved, j)
+		}
+	}
+
+	// Undo: retract the connection's un-checkpointed output from the sink,
+	// newest first, restoring the sink to the checkpoint-consistent state
+	// the redeployed replicas will regenerate from. Delta operators unwind
+	// exactly under reverse-order inverse application.
+	undo := failed.flog.takeOut()
+	for i := len(undo) - 1; i >= 0; i-- {
+		batch := undo[i]
+		neg := make([]data.Tuple, len(batch))
+		for k := range batch {
+			neg[k] = batch[len(batch)-1-k].Negate()
+		}
+		PushBatch(s.fo.cfg.Sink, neg)
+	}
+	states := failed.flog.statesCopy()
+	backlog := failed.flog.takeIn()
+	failed.flog.drop()
+	s.removeConnLocked(failed)
+
+	if len(moved) == 0 {
+		// A replacement that died before any shard was flipped to it: the
+		// undo above removed its partial replay output; the failover that
+		// was using it retries elsewhere with the full backlog.
+		return nil
+	}
+
+	// Restore: try surviving connections, then fresh dials, then local. A
+	// candidate that dies mid-restore costs a full redelivery to the next
+	// one (its own failover, queued behind this one, undoes the partial
+	// output it emitted).
+	tried := map[string]bool{failed.addr: true}
+	for {
+		target := s.pickTargetLocked(tried)
+		if target == nil {
+			err := fmt.Errorf("stream: shard failover: no candidate left for shards %v of %s", moved, failed.addr)
+			return &FailoverEvent{Shards: moved, From: failed.addr, Err: err}
+		}
+		if !s.restoreOn(target, moved, states) {
+			s.discardTarget(target)
+			continue
+		}
+		if target.deliver(backlog) != nil {
+			s.discardTarget(target)
+			continue
+		}
+		// Flip: reroute the moved shards, rebuild the exchanges' heads,
+		// start queue workers for an in-process replacement.
+		for _, j := range moved {
+			if target.conn != nil {
+				s.conns[j] = target.conn
+				continue
+			}
+			s.conns[j] = nil
+			s.advs[j] = target.advs[j]
+			s.wg.Add(1)
+			go s.worker(j)
+		}
+		for _, sh := range sharders {
+			for _, j := range moved {
+				if target.conn != nil {
+					sh.heads[j] = target.conn.Head(sh.schema, j, sh.name)
+				} else {
+					sh.heads[j] = target.heads[j][sh.name]
+				}
+			}
+		}
+		if target.conn != nil {
+			s.addConnLocked(target.conn)
+		}
+		return &FailoverEvent{Shards: moved, From: failed.addr, To: target.addr}
+	}
+}
+
+// pickTargetLocked chooses the next restore candidate: a healthy
+// connection the set already owns, a fresh dial to a configured worker
+// address, then in-process replicas as the last resort (nil when even that
+// was tried). Caller holds s.mu.
+func (s *ShardSet) pickTargetLocked(tried map[string]bool) *failoverTarget {
+	for _, u := range s.uconns {
+		if u.Err() == nil && !tried[u.addr] {
+			tried[u.addr] = true
+			return &failoverTarget{conn: u, addr: u.addr}
+		}
+	}
+	for _, addr := range s.fo.cfg.Nodes {
+		if addr == "" || tried[addr] {
+			continue
+		}
+		tried[addr] = true
+		// The bounded dial matters: we hold the deployment's locks, so a
+		// blackholed candidate must fail within the stall bound, not the
+		// kernel's connect timeout.
+		c, err := dialShard(addr, s.fo.cfg.Sink, s.fo.cfg.StallTimeout)
+		if err != nil {
+			continue
+		}
+		c.enableFailover(s.fo.cfg.CheckpointEvery, s.fo.cfg.CheckpointMaxLog)
+		c.armFailover(s.connFailed)
+		return &failoverTarget{conn: c, fresh: true, addr: addr}
+	}
+	if tried[""] {
+		return nil
+	}
+	tried[""] = true
+	return &failoverTarget{}
+}
+
+// removeConnLocked drops a connection from the barrier/tick set; caller
+// holds s.mu.
+func (s *ShardSet) removeConnLocked(c *ShardConn) {
+	keep := s.uconns[:0]
+	for _, u := range s.uconns {
+		if u != c {
+			keep = append(keep, u)
+		}
+	}
+	s.uconns = keep
+}
+
+// addConnLocked adopts a connection into the barrier/tick set once;
+// caller holds s.mu.
+func (s *ShardSet) addConnLocked(c *ShardConn) {
+	for _, u := range s.uconns {
+		if u == c {
+			return
+		}
+	}
+	s.uconns = append(s.uconns, c)
+}
+
+// restoreOn deploys the moved shards' spec and checkpoint states onto the
+// target, building in-process replicas for the local last resort.
+func (s *ShardSet) restoreOn(t *failoverTarget, moved []int, states map[int][]byte) bool {
+	cfg := &s.fo.cfg
+	if t.conn != nil {
+		for _, j := range moved {
+			if t.conn.Deploy(cfg.Spec, j, states[j]) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if cfg.LocalDeploy == nil {
+		return false
+	}
+	t.heads = map[int]map[string]Operator{}
+	t.advs = map[int][]Advancer{}
+	sink := cfg.Sink
+	send := ResultSender(func(ts []data.Tuple) error {
+		PushBatch(sink, ts)
+		return nil
+	})
+	for _, j := range moved {
+		heads, advs, _, err := cfg.LocalDeploy(cfg.Spec, j, states[j], send)
+		if err != nil {
+			return false
+		}
+		t.heads[j] = heads
+		t.advs[j] = advs
+	}
+	return true
+}
+
+// discardTarget abandons a candidate: fresh connections are torn down (a
+// dead one is severed; its own failover, if notified, finds zero mapped
+// shards and only undoes whatever partial replay it emitted). A surviving
+// connection that died here runs its own failover, queued behind this one.
+func (s *ShardSet) discardTarget(t *failoverTarget) {
+	if t.conn == nil || !t.fresh {
+		return
+	}
+	if t.conn.Err() != nil {
+		t.conn.severLink()
+	} else {
+		_ = t.conn.Close()
+	}
 }
 
 // Sharder is the exchange operator in front of one replicated pipeline
@@ -342,6 +823,9 @@ type Sharder struct {
 	keyIdx []int      // key column indexes; nil = all columns
 	schema *data.Schema
 	hasher data.Hasher
+	// name is the scan's wire name (plan.scanName); failover uses it to
+	// rebuild this exchange's head for a moved shard.
+	name string
 
 	// keyFns, when set, routes on computed key expressions instead of
 	// stored columns: the partition key a plan imposes through a
@@ -361,13 +845,17 @@ func NewSharder(set *ShardSet, heads []Operator, keyIdx []int) (*Sharder, error)
 	if len(heads) != set.p {
 		return nil, fmt.Errorf("stream: sharder needs %d heads, got %d", set.p, len(heads))
 	}
-	return &Sharder{
+	sh := &Sharder{
 		set:    set,
 		heads:  heads,
 		keyIdx: keyIdx,
 		schema: heads[0].Schema(),
 		pend:   make([][]data.Tuple, set.p),
-	}, nil
+	}
+	set.mu.Lock()
+	set.sharders = append(set.sharders, sh)
+	set.mu.Unlock()
+	return sh, nil
 }
 
 // NewExprSharder builds an exchange that routes each tuple on the hashed
@@ -389,6 +877,10 @@ func NewExprSharder(set *ShardSet, heads []Operator, keys []*expr.Compiled) (*Sh
 	sh.keyBuf = make([]data.Value, len(keys))
 	return sh, nil
 }
+
+// SetName records the exchange's scan wire name for failover rerouting;
+// call before the set starts.
+func (sh *Sharder) SetName(name string) { sh.name = name }
 
 // Schema implements Operator.
 func (sh *Sharder) Schema() *data.Schema { return sh.schema }

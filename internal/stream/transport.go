@@ -56,6 +56,16 @@ const (
 	// frameResult returns a batch of replica output tuples from a shard
 	// worker to its coordinator.
 	frameResult
+	// frameCheckpoint asks a shard worker to snapshot the operator state of
+	// every replica on the connection; answered by frameCkptState with the
+	// same Seq. Its position in the FIFO input stream defines the
+	// checkpoint's consistency point.
+	frameCheckpoint
+	// frameCkptState answers frameCheckpoint: Spec carries the encoded
+	// per-shard operator states (see checkpoint.go). It arrives behind every
+	// result the pre-checkpoint input produced, so the coordinator can
+	// truncate its replay and undo logs exactly at the decode.
+	frameCkptState
 )
 
 // frame is the wire format of the exchange layer. Which fields are
@@ -70,6 +80,7 @@ type frame struct {
 	Seq   uint64     // barrier/deploy/ack matching; 0 on credit acks
 	Shard int        // frameDeploy: which shard replica the spec builds
 	Spec  []byte     // frameDeploy payload, opaque to the stream layer
+	State []byte     // frameDeploy: optional checkpoint to restore into the replica
 	Err   string     // frameAck: non-empty reports a failed deploy/barrier
 }
 

@@ -313,7 +313,7 @@ func TestShardWorkerDisconnectMidEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Deploy(nil, 0); err != nil {
+	if err := c.Deploy(nil, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.SendBatch(0, "s0", []data.Tuple{temp(1, "L1", 20)}); err != nil {
@@ -425,7 +425,7 @@ func TestShardWorkerSurvivesMalformedFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer good.Close()
-	if err := good.Deploy(nil, 0); err != nil {
+	if err := good.Deploy(nil, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 
