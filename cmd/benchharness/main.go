@@ -3,7 +3,7 @@
 //
 //	go run ./cmd/benchharness                       # all experiments
 //	go run ./cmd/benchharness E2 E4                 # a subset
-//	go run ./cmd/benchharness -json BENCH_PR5.json  # machine-readable dump
+//	go run ./cmd/benchharness -json BENCH_PR6.json  # machine-readable dump
 //
 // With -json, the selected experiment tables are also written to the given
 // file together with the recorded seed baselines of the hot-path
@@ -82,6 +82,17 @@ var pr4Baselines = map[string]string{
 	"E7RemoteSharded/W=2":           "1955 ns/op, 4 allocs/op",
 }
 
+// pr5Baselines records the post-PR-5 numbers (single-core CI container,
+// gob wire codec, one TCP connection per deployment×worker) that PR 6's
+// columnar codec + connection multiplexing are measured against: the
+// W>=1 rows are the wire path the codec had to make ~10× cheaper.
+var pr5Baselines = map[string]string{
+	"E7RemoteSharded/W=0":         "321 ns/op, 0 allocs/op",
+	"E7RemoteSharded/W=1":         "2437 ns/op, 4 allocs/op",
+	"E7RemoteShardedFailover/W=0": "330 ns/op, 0 allocs/op",
+	"E7RemoteShardedFailover/W=1": "2615 ns/op, 4 allocs/op",
+}
+
 type report struct {
 	// SeedBaseline holds the pre-optimization microbenchmark numbers for
 	// the benchmarks the PR-1 acceptance criteria track.
@@ -97,7 +108,10 @@ type report struct {
 	PR3Baseline map[string]string `json:"pr3_baseline"`
 	// PR4Baseline holds the post-PR-4 sweep numbers that PR 5's failover
 	// subsystem must not regress against.
-	PR4Baseline map[string]string   `json:"pr4_baseline"`
+	PR4Baseline map[string]string `json:"pr4_baseline"`
+	// PR5Baseline holds the post-PR-5 gob-era remote numbers that PR 6's
+	// columnar wire codec + multiplexing are compared against.
+	PR5Baseline map[string]string   `json:"pr5_baseline"`
 	Experiments []experiments.Table `json:"experiments"`
 }
 
@@ -125,7 +139,7 @@ func main() {
 	}
 	rep := report{SeedBaseline: seedBaselines, PR1Baseline: pr1Baselines,
 		PR2Baseline: pr2Baselines, PR3Baseline: pr3Baselines,
-		PR4Baseline: pr4Baselines}
+		PR4Baseline: pr4Baselines, PR5Baseline: pr5Baselines}
 	for _, id := range want {
 		fn, ok := all[strings.ToUpper(id)]
 		if !ok {

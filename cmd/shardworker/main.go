@@ -1,9 +1,11 @@
 // Shardworker hosts remote shard replicas for distributed plan execution:
 // a coordinator compiled with Parallelism=P and a node topology
 // (core.Config.Nodes / plan.CompileOptions.Nodes) deploys replica subplans
-// here over the shard frame protocol, streams hash-partitioned batches and
-// clock ticks in, and receives result (or partial-aggregate) rows back —
-// the paper's "replicas live on different PCs" deployment model.
+// here over the shard frame protocol (columnar batch bodies, every
+// deployment from one coordinator multiplexed over one TCP connection as
+// its own stream id), streams hash-partitioned batches and clock ticks
+// in, and receives result (or partial-aggregate) rows back — the paper's
+// "replicas live on different PCs" deployment model.
 //
 //	go run ./cmd/shardworker -listen 127.0.0.1:7070
 //	go run ./cmd/shardworker                # ephemeral port, printed on stdout

@@ -47,6 +47,8 @@ type Config struct {
 	// Nodes lists shard-worker addresses (cmd/shardworker) to distribute
 	// the replicas over: shard j deploys to Nodes[j%len(Nodes)], with ""
 	// keeping that replica in-process. Empty runs everything in-process.
+	// All deployments to one worker multiplex over a single pooled TCP
+	// connection (one per distinct address), each as its own wire stream.
 	Nodes []string
 	// Failover converts worker loss from fail-stop into checkpointed
 	// redeploy: remote replicas checkpoint their operator state to the

@@ -389,8 +389,9 @@ func E7StreamThroughput() Table {
 	}
 	// Multi-node sweep (PR 4): the same compiled plan at P=4 with its
 	// replicas round-robined over W loopback shard workers (W=0 keeps all
-	// replicas in-process) — the gob/TCP exchange overhead of the paper's
-	// replicas-on-different-PCs deployment.
+	// replicas in-process) — the columnar-wire/TCP exchange overhead
+	// (PR 6; gob before that) of the paper's replicas-on-different-PCs
+	// deployment.
 	for _, w := range []int{0, 1, 2} {
 		const n = 30000
 		elapsed := runRemoteJoinPipeline(10*time.Second, n, 4, w)

@@ -190,3 +190,43 @@ func fuzzBuiltPlan(t *testing.T) *Built {
 	t.Fatal("no partitionable plan found")
 	return nil
 }
+
+// TestMultiplexedConnAccounting: every deployment between this
+// coordinator and a worker shares one pooled physical connection, so N
+// deployments over W workers hold O(W) sockets — not O(N×W) — and the
+// last teardown releases them.
+func TestMultiplexedConnAccounting(t *testing.T) {
+	before := stream.WorkerConnCount()
+	nodes := make([]string, 2)
+	for i := range nodes {
+		w, err := NewWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		nodes[i] = w.Addr()
+	}
+
+	const n = 8
+	deps := make([]*Deployment, 0, n)
+	for i := 0; i < n; i++ {
+		eng := stream.NewEngine("mux", vtime.NewScheduler())
+		dep, err := CompileStreamOpts(fuzzBuiltPlan(t), eng, CompileOptions{
+			Parallelism: 2, Nodes: nodes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deps = append(deps, dep)
+	}
+	if got := stream.WorkerConnCount() - before; got != len(nodes) {
+		t.Fatalf("%d deployments over %d workers hold %d connections, want %d",
+			n, len(nodes), got, len(nodes))
+	}
+	for _, dep := range deps {
+		dep.Close()
+	}
+	if got := stream.WorkerConnCount() - before; got != 0 {
+		t.Fatalf("%d connections still pooled after every deployment closed", got)
+	}
+}

@@ -218,7 +218,10 @@ func attachScan(x *Scan, head stream.Operator, eng *stream.Engine, dep *Deployme
 // workers: a remote replica compiles inside its worker process from the
 // shipped wire spec, the Sharder routes its partitions over the worker
 // connection, and the worker funnels results (or partial rows) back
-// through the same connection into the Merge sink.
+// through the same connection into the Merge sink. Worker connections
+// are logical streams: every deployment to the same address shares one
+// pooled TCP connection (stream.WorkerConnCount counts the sockets),
+// with FIFO ordering per stream preserved for barriers and failover.
 func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *shardStrategy) (*Deployment, error) {
 	p, nodes := opts.Parallelism, opts.Nodes
 	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: p,

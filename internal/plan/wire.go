@@ -16,7 +16,9 @@ import (
 // wire spec, and DeployReplica rebuilds and compiles it there. The worker
 // process never sees SQL or the catalog — just the already-analyzed subtree
 // the coordinator's shard analysis proved partitionable, plus the optional
-// PartialAggregate cap of a two-phase plan.
+// PartialAggregate cap of a two-phase plan. Specs are the cold path and
+// the one place gob remains on the wire (inside deploy frame bodies);
+// the per-batch hot path uses the columnar codec in stream/wire.go.
 
 func init() {
 	// expr.Expr values ride inside wire nodes (predicates, projections,

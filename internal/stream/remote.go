@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -15,13 +16,16 @@ import (
 // This file is the multi-node half of the partition-parallel layer: a shard
 // replica of a deployed plan may live in another engine process (another PC
 // of the paper's architecture) behind a ShardConn instead of an in-process
-// worker goroutine. One TCP connection per (deployment, worker) carries
-// everything both ways — deploy specs, data batches, clock ticks, and
-// flush/close barriers outward; result batches and acks back — so FIFO
-// ordering on the connection gives the same guarantees the in-process
-// queues do: a barrier ack arrives behind every result its data produced.
+// worker goroutine. One physical TCP connection per (coordinator, worker)
+// carries every deployment between the two, multiplexed by per-deployment
+// stream ids (mux.go); a ShardConn is one such stream. Everything travels
+// both ways over it — deploy specs, data batches, clock ticks, and
+// flush/close barriers outward; result batches and acks back — in the
+// binary columnar wire format (wire.go). FIFO ordering per stream gives
+// the same guarantees the in-process queues do: a barrier ack arrives
+// behind every result its data produced.
 //
-// With failover enabled (shard.go), each connection additionally keeps a
+// With failover enabled (shard.go), each stream additionally keeps a
 // coordinator-side replay log of every frame sent and every result received
 // since the last committed checkpoint, and periodically asks the worker for
 // a checkpoint of its replica states. The FIFO position of the checkpoint
@@ -29,10 +33,17 @@ import (
 // returned state, everything after it is what a redeployed replica must
 // undo (results) and replay (inputs).
 
-// remoteInflight bounds un-acked data/tick frames per connection: producers
+// remoteInflight bounds un-acked data/tick frames per stream: producers
 // block when a worker falls this far behind (backpressure instead of
 // unbounded kernel socket buffering).
 const remoteInflight = 32
+
+// workerAckEvery bounds credit-ack latency under sustained input: the
+// worker normally coalesces credit acks until its input drains, but a
+// connection whose other streams keep it busy must not starve one
+// stream's credit window, so acks also flush every this many processed
+// credit frames.
+const workerAckEvery = 16
 
 // remoteStallTimeout is the default bound on every wait on a worker that
 // keeps its TCP session alive but stops responding: a peer that was never a
@@ -59,17 +70,29 @@ type ResultSender func(ts []data.Tuple) error
 // operators in deterministic order for checkpoint barriers.
 type DeployFunc func(spec []byte, shard int, state []byte, send ResultSender) (heads map[string]Operator, advs []Advancer, cks []Checkpointer, err error)
 
-// headKey names one replica entry point on a connection hosting several
+// headKey names one replica entry point on a stream hosting several
 // shards: the coordinator and worker derive it identically.
 func headKey(shard int, name string) string { return fmt.Sprintf("%d/%s", shard, name) }
+
+// deployBody is the gob payload of a deploy frame — the one remaining
+// gob-encoded frame body (replica specs are cold-path, deeply structured,
+// and already gob inside Spec anyway).
+type deployBody struct {
+	Seq   uint64
+	Shard int
+	Spec  []byte
+	State []byte
+}
 
 // ShardWorker hosts remote shard replicas: it accepts coordinator
 // connections and serves the shard frame protocol — deploy builds replicas
 // through the DeployFunc, data frames push into replica heads, tick frames
 // advance replica windows, flush/close frames ack as barriers, checkpoint
-// frames reply with the replicas' encoded operator states. All replica
-// processing for one connection runs on that connection's decode goroutine,
-// preserving the single-writer discipline replica operators rely on.
+// frames reply with the replicas' encoded operator states. One connection
+// carries many deployments, each under its own stream id with its own
+// replica registry. All replica processing for one connection runs on that
+// connection's decode goroutine, preserving the single-writer discipline
+// replica operators rely on.
 type ShardWorker struct {
 	*connServer
 	deploy DeployFunc
@@ -87,102 +110,216 @@ func NewShardWorker(addr string, deploy DeployFunc) (*ShardWorker, error) {
 	return w, nil
 }
 
-// serveConn drives one coordinator link: decode a frame, process it, ack
-// it. Processing is synchronous, so by the time a barrier frame acks, every
-// result its predecessors produced has already been encoded onto the
-// connection.
-func (w *ShardWorker) serveConn(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	// All writes — result batches emitted while processing a frame, and the
-	// ack that follows — happen on this goroutine, so the encoder needs no
-	// lock and the wire order (results before their barrier's ack) is a
-	// structural guarantee.
-	writeFrame := func(f frame) error { return enc.Encode(f) }
-	send := ResultSender(func(ts []data.Tuple) error {
-		if len(ts) == 0 {
-			return nil
-		}
-		return writeFrame(frame{Kind: frameResult, Batch: ts})
-	})
+// workerStream is the worker-side state of one deployment's stream: its
+// replica registry and the credit acks it owes the coordinator.
+type workerStream struct {
+	heads map[string]Operator
+	advs  []Advancer
+	cks   map[int][]Checkpointer
+	send  ResultSender
+	pend  int // processed-but-unacked credit frames
+}
 
-	heads := map[string]Operator{}
-	var advs []Advancer
-	cks := map[int][]Checkpointer{}
+// serveConn drives one coordinator link: decode a frame, route it to its
+// stream, process it. Processing is synchronous on this goroutine, so by
+// the time a barrier frame acks, every result its predecessors produced
+// has already been encoded onto the connection ahead of the ack.
+//
+// Writes are coalesced: result frames and credit acks accumulate in the
+// connection's write buffer and flush when the input drains (nothing more
+// is in flight to process first), at any barrier ack, past the buffer
+// threshold, or every workerAckEvery credit frames — one syscall then
+// carries an epoch's worth of results and acks.
+func (w *ShardWorker) serveConn(conn net.Conn) {
+	r := newWireReader(conn)
+	wr := &wireWriter{conn: conn}
+	streams := map[uint64]*workerStream{}
+	var dec batchDecoder
+	pendTotal := 0 // credit acks owed across all streams
+	sinceAck := 0  // credit frames processed since the last ack flush
+
+	// flushAcks emits every owed credit ack and flushes the buffer.
+	flushAcks := func() error {
+		for id, ws := range streams {
+			if ws.pend > 0 {
+				appendAckFrame(wr, id, 0, ws.pend, "")
+				ws.pend = 0
+			}
+		}
+		pendTotal = 0
+		sinceAck = 0
+		return wr.flush()
+	}
+	// getStream lazily creates per-stream state (deploy normally creates
+	// it; a data frame racing a dropped stream still gets its credit
+	// acked so the coordinator's window never leaks).
+	getStream := func(id uint64) *workerStream {
+		ws := streams[id]
+		if ws == nil {
+			ws = &workerStream{heads: map[string]Operator{}, cks: map[int][]Checkpointer{}}
+			ws.send = func(ts []data.Tuple) error {
+				if len(ts) == 0 {
+					return nil
+				}
+				m := wr.begin(frameResult)
+				wr.buf = appendUvarint(wr.buf, id)
+				wr.buf = appendBatch(wr.buf, ts)
+				wr.end(m)
+				if wr.buffered() >= wireFlushBytes {
+					return wr.flush()
+				}
+				return nil
+			}
+			streams[id] = ws
+		}
+		return ws
+	}
+
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
+		if r.buffered() == 0 && (pendTotal > 0 || wr.buffered() > 0) {
+			// Input drained: everything owed — results, credit acks — goes
+			// out now, in one write.
+			if flushAcks() != nil {
+				return
+			}
+		}
+		kind, body, err := r.next()
+		if err != nil {
 			// EOF, reset, or a malformed peer: the connection's replicas die
 			// with it; other connections keep serving.
 			return
 		}
-		switch f.Kind {
+		br := &byteReader{b: body}
+		id := br.uvarint()
+		if br.fail {
+			return
+		}
+		switch kind {
 		case frameDeploy:
-			h, a, ck, err := w.deploy(f.Spec, f.Shard, f.State, send)
-			ack := frame{Kind: frameAck, Seq: f.Seq}
-			if err != nil {
-				ack.Err = err.Error()
+			var db deployBody
+			if gob.NewDecoder(bytes.NewReader(br.rest())).Decode(&db) != nil {
+				return
+			}
+			ws := getStream(id)
+			h, a, ck, derr := w.deploy(db.Spec, db.Shard, db.State, ws.send)
+			errs := ""
+			if derr != nil {
+				errs = derr.Error()
 			} else {
 				for name, op := range h {
-					heads[headKey(f.Shard, name)] = op
+					ws.heads[headKey(db.Shard, name)] = op
 				}
-				advs = append(advs, a...)
-				cks[f.Shard] = ck
+				ws.advs = append(ws.advs, a...)
+				ws.cks[db.Shard] = ck
 			}
-			if writeFrame(ack) != nil {
+			appendAckFrame(wr, id, db.Seq, 0, errs)
+			if flushAcks() != nil {
 				return
 			}
 		case frameData:
+			key := br.bytes(int(br.uvarint()))
+			batch, derr := dec.decode(br)
+			if derr != nil || br.fail {
+				return
+			}
+			ws := getStream(id)
 			// Unknown heads drop silently, mirroring Server: the coordinator
 			// validated the deployment before opening the taps.
-			if op, ok := heads[f.Input]; ok {
-				if f.Batch != nil {
-					PushBatch(op, f.Batch)
-				} else {
-					op.Push(f.Tuple)
-				}
+			if op, ok := ws.heads[string(key)]; ok {
+				PushBatch(op, batch)
 			}
-			if writeFrame(frame{Kind: frameAck}) != nil {
-				return
-			}
+			ws.pend++
+			pendTotal++
+			sinceAck++
 		case frameTick:
-			for _, a := range advs {
-				a.Advance(f.Now)
-			}
-			if writeFrame(frame{Kind: frameAck}) != nil {
+			now := vtimeFrom(br.u64())
+			if br.fail {
 				return
 			}
+			ws := getStream(id)
+			for _, a := range ws.advs {
+				a.Advance(now)
+			}
+			ws.pend++
+			pendTotal++
+			sinceAck++
 		case frameFlush:
-			if writeFrame(frame{Kind: frameAck, Seq: f.Seq}) != nil {
+			seq := br.uvarint()
+			if br.fail {
+				return
+			}
+			appendAckFrame(wr, id, seq, 0, "")
+			if flushAcks() != nil {
 				return
 			}
 		case frameCheckpoint:
-			reply := frame{Kind: frameCkptState, Seq: f.Seq}
-			payload, err := encodeWorkerCheckpoint(cks)
-			if err != nil {
-				reply.Err = err.Error()
-			} else {
-				reply.Spec = payload
+			seq := br.uvarint()
+			if br.fail {
+				return
 			}
-			if writeFrame(reply) != nil {
+			ws := getStream(id)
+			payload, cerr := encodeWorkerCheckpoint(ws.cks)
+			errs := ""
+			if cerr != nil {
+				errs = cerr.Error()
+				payload = nil
+			}
+			m := wr.begin(frameCkptState)
+			wr.buf = appendUvarint(wr.buf, id)
+			wr.buf = appendUvarint(wr.buf, seq)
+			wr.buf = appendWireString(wr.buf, errs)
+			wr.buf = appendUvarint(wr.buf, uint64(len(payload)))
+			wr.buf = append(wr.buf, payload...)
+			wr.end(m)
+			if flushAcks() != nil {
 				return
 			}
 		case frameClose:
-			// Drop the replicas; the coordinator closes the connection after
-			// the ack.
-			heads = map[string]Operator{}
-			advs = nil
-			cks = map[int][]Checkpointer{}
-			if writeFrame(frame{Kind: frameAck, Seq: f.Seq}) != nil {
+			// Drop this stream's replicas; the other streams (and the
+			// connection) live on until the coordinator's last deployment
+			// releases it.
+			seq := br.uvarint()
+			if br.fail {
+				return
+			}
+			if ws := streams[id]; ws != nil && ws.pend > 0 {
+				appendAckFrame(wr, id, 0, ws.pend, "")
+				pendTotal -= ws.pend
+			}
+			delete(streams, id)
+			appendAckFrame(wr, id, seq, 0, "")
+			if wr.flush() != nil {
+				return
+			}
+		default:
+			// Unknown frame kind: a non-protocol peer; drop the connection.
+			return
+		}
+		if sinceAck >= workerAckEvery {
+			// Sustained input on a busy connection: bound the coordinator's
+			// credit-wait latency even though the input never drains.
+			if flushAcks() != nil {
 				return
 			}
 		}
 	}
 }
 
+// appendAckFrame encodes one ack frame: seq matches a barrier (0 for
+// pure credit acks), credits releases that many in-flight credits, errs
+// reports a failed deploy/barrier.
+func appendAckFrame(w *wireWriter, id, seq uint64, credits int, errs string) {
+	m := w.begin(frameAck)
+	w.buf = appendUvarint(w.buf, id)
+	w.buf = appendUvarint(w.buf, seq)
+	w.buf = appendUvarint(w.buf, uint64(credits))
+	w.buf = appendWireString(w.buf, errs)
+	w.end(m)
+}
+
 // logEntry is one replayable coordinator→worker frame: a data batch for a
 // named replica head, or (Tick set) a clock instant for every replica on
-// the connection.
+// the stream.
 type logEntry struct {
 	shard int
 	name  string
@@ -191,7 +328,7 @@ type logEntry struct {
 	now   vtime.Time
 }
 
-// connLog is the failover bookkeeping of one worker connection: the input
+// connLog is the failover bookkeeping of one worker stream: the input
 // replay log and output undo log since the last committed checkpoint, the
 // last committed per-shard states, and the post-cutover redirect. in/out
 // are bounded in steady state by the checkpoint cadence (ckEvery ticks or
@@ -303,27 +440,29 @@ func (l *connLog) drop() {
 }
 
 // ShardConn is the coordinator side of one deployment's link to a
-// ShardWorker. Data batches and ticks consume bounded in-flight credits
-// (acks release them); deploy, flush, close, and checkpoint are
-// sequence-matched barriers. Result batches decoded by the reader goroutine
-// push into the deployment's merge sink, so per-connection FIFO makes a
-// flush ack a result-drain barrier too.
+// ShardWorker: one stream on the pooled physical connection to that
+// worker (mux.go). Data batches and ticks consume bounded in-flight
+// credits (acks release them); deploy, flush, close, and checkpoint are
+// sequence-matched barriers. Result batches decoded by the connection's
+// reader goroutine push into the deployment's merge sink, so per-stream
+// FIFO makes a flush ack a result-drain barrier too.
 //
-// A transport failure is sticky: every later send drops (with failover
-// disabled the deployment's result simply stops updating from this worker,
-// matching the engine's lossy-link convention) and every waiting barrier
-// fails fast. With failover enabled, the first failure also notifies the
-// owning ShardSet, post-failure sends keep landing in the replay log, and
-// the set redeploys the connection's shards elsewhere (see shard.go).
+// A transport failure is sticky and link-wide: a worker that stalls or
+// dies stalls every stream on the connection, so any failure fails them
+// all. Every later send drops (with failover disabled the deployment's
+// result simply stops updating from this worker, matching the engine's
+// lossy-link convention) and every waiting barrier fails fast. With
+// failover enabled, the first failure also notifies the owning ShardSet,
+// post-failure sends keep landing in the replay log, and the set
+// redeploys the stream's shards elsewhere (see shard.go).
 type ShardConn struct {
 	addr string
-	conn net.Conn
-	enc  *gob.Encoder
-	wmu  sync.Mutex // serializes frame encodes (and log appends) across producers
-	sink Operator   // result funnel (the deployment's Merge)
+	pc   *physConn
+	id   uint64
+	sink Operator     // result funnel (the deployment's Merge)
+	dec  batchDecoder // result decode scratch; reader goroutine only
 
 	credits chan struct{}
-	wg      sync.WaitGroup
 
 	// stall bounds every wait on an unresponsive worker; flog/onFail/ck*
 	// are the failover extensions (flog nil = disabled, the PR-4 behavior).
@@ -344,8 +483,11 @@ type ShardConn struct {
 }
 
 // DialShard connects a deployment to a ShardWorker; decoded result batches
-// push into sink. The connect attempt itself is bounded by the default
-// stall timeout (use dialShard to bound it tighter).
+// push into sink. The physical connection comes from the process-wide pool
+// — deployments to the same worker share one socket — so "dial" may just
+// open a new stream on an existing connection. The connect attempt itself
+// is bounded by the default stall timeout (use dialShard to bound it
+// tighter).
 func DialShard(addr string, sink Operator) (*ShardConn, error) {
 	return dialShard(addr, sink, remoteStallTimeout)
 }
@@ -358,26 +500,11 @@ func dialShard(addr string, sink Operator, timeout time.Duration) (*ShardConn, e
 	if timeout <= 0 {
 		timeout = remoteStallTimeout
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	pc, err := shardPool.get(addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("stream: dial shard worker %s: %w", addr, err)
+		return nil, err
 	}
-	c := &ShardConn{
-		addr:    addr,
-		conn:    conn,
-		enc:     gob.NewEncoder(conn),
-		sink:    sink,
-		stall:   timeout,
-		credits: make(chan struct{}, remoteInflight),
-		waits:   map[uint64]chan error{},
-		done:    make(chan struct{}),
-	}
-	for i := 0; i < remoteInflight; i++ {
-		c.credits <- struct{}{}
-	}
-	c.wg.Add(1)
-	go c.readLoop()
-	return c, nil
+	return pc.newStream(sink, timeout), nil
 }
 
 // Addr returns the worker address this connection serves.
@@ -424,50 +551,67 @@ func (c *ShardConn) Err() error {
 	return c.err
 }
 
-// readLoop drains worker frames: results into the sink (and the undo log),
+// handleFrame processes one worker frame dispatched by the physical
+// connection's read loop: results into the sink (and the undo log),
 // credit acks back into the send budget, barrier acks to their waiters,
-// checkpoint states into the log's committed snapshot.
-func (c *ShardConn) readLoop() {
-	defer c.wg.Done()
-	dec := gob.NewDecoder(c.conn)
-	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
-			c.fail(fmt.Errorf("stream: shard link %s: %w", c.addr, err))
-			return
+// checkpoint states into the log's committed snapshot. Returns false on
+// a malformed frame (which fails the whole link).
+func (c *ShardConn) handleFrame(kind frameKind, br *byteReader) bool {
+	switch kind {
+	case frameResult:
+		batch, err := c.dec.decode(br)
+		if err != nil {
+			return false
 		}
-		switch f.Kind {
-		case frameResult:
-			if c.flog != nil {
-				c.flog.appendOut(f.Batch)
+		if len(batch) == 0 {
+			return true
+		}
+		if c.flog != nil {
+			// The decoder's tuple slice is per-frame scratch; the undo log
+			// outlives the frame, so it keeps its own slice (the values and
+			// their arenas are retained either way).
+			c.flog.appendOut(append([]data.Tuple(nil), batch...))
+		}
+		PushBatch(c.sink, batch)
+	case frameCkptState:
+		seq := br.uvarint()
+		errs := br.wireString()
+		payload := br.bytes(int(br.uvarint()))
+		if br.fail {
+			return false
+		}
+		// Decoded on the FIFO: every result before this reply is already
+		// in the undo log, so committing here truncates both logs at the
+		// exact consistency point of the checkpoint.
+		var err error
+		if errs != "" {
+			err = fmt.Errorf("stream: shard worker %s: checkpoint: %s", c.addr, errs)
+		} else if c.flog != nil {
+			err = c.flog.commit(payload)
+		}
+		c.deliverAck(seq, err)
+	case frameAck:
+		seq := br.uvarint()
+		credits := br.uvarint()
+		errs := br.wireString()
+		if br.fail || credits > remoteInflight {
+			return false
+		}
+		for i := uint64(0); i < credits; i++ {
+			select {
+			case c.credits <- struct{}{}:
+			default: // worker over-ack: never block the reader
 			}
-			PushBatch(c.sink, f.Batch)
-		case frameCkptState:
-			// Decoded on the FIFO: every result before this reply is already
-			// in the undo log, so committing here truncates both logs at the
-			// exact consistency point of the checkpoint.
+		}
+		if seq != 0 {
 			var err error
-			if f.Err != "" {
-				err = fmt.Errorf("stream: shard worker %s: checkpoint: %s", c.addr, f.Err)
-			} else if c.flog != nil {
-				err = c.flog.commit(f.Spec)
+			if errs != "" {
+				err = fmt.Errorf("stream: shard worker %s: %s", c.addr, errs)
 			}
-			c.deliverAck(f.Seq, err)
-		case frameAck:
-			if f.Seq == 0 {
-				select {
-				case c.credits <- struct{}{}:
-				default: // worker double-ack: never block the reader
-				}
-				continue
-			}
-			var err error
-			if f.Err != "" {
-				err = fmt.Errorf("stream: shard worker %s: %s", c.addr, f.Err)
-			}
-			c.deliverAck(f.Seq, err)
+			c.deliverAck(seq, err)
 		}
 	}
+	return true
 }
 
 // deliverAck hands a sequence-matched ack to its waiter.
@@ -481,10 +625,12 @@ func (c *ShardConn) deliverAck(seq uint64, err error) {
 	}
 }
 
-// fail records the first transport error, notifies the failover machinery,
-// wakes every barrier waiter, and unblocks all senders. The notification
-// runs before the waiters wake, so whoever observes a failed barrier (a
-// Flush, a deploy) already finds the failover pending.
+// fail records the stream's sticky error, notifies the failover
+// machinery, wakes every barrier waiter, and unblocks all senders. Only
+// the physical connection's fail (which owns failure for the whole link)
+// and newStream's dead-link check call it. The notification runs before
+// the waiters wake, so whoever observes a failed barrier (a Flush, a
+// deploy) already finds the failover pending.
 func (c *ShardConn) fail(err error) {
 	c.mu.Lock()
 	if c.err != nil {
@@ -505,52 +651,13 @@ func (c *ShardConn) fail(err error) {
 	}
 }
 
-// severLink tears the transport down and waits for the reader to exit, so
-// no further results can reach the sink or the undo log. Idempotent; the
-// failover machinery calls it before taking the logs.
+// severLink tears the physical transport down and waits for its reader to
+// exit, so no further results can reach the sink or the undo log — of
+// this stream or any sibling (a severed link is a failure for every
+// deployment sharing it, each of which runs its own failover). Idempotent;
+// the failover machinery calls it before taking the logs.
 func (c *ShardConn) severLink() {
-	c.mu.Lock()
-	var waits map[uint64]chan error
-	if c.err == nil {
-		// Stall-detected failures leave the socket open; close it so the
-		// reader observes the failure too. Waiters wake like on any other
-		// sticky failure, but the failover machinery (our caller) is not
-		// re-notified.
-		c.err = fmt.Errorf("stream: shard link %s: severed for failover", c.addr)
-		close(c.done)
-		waits = c.waits
-		c.waits = map[uint64]chan error{}
-	}
-	c.mu.Unlock()
-	for _, ch := range waits {
-		ch <- c.Err()
-	}
-	c.conn.Close()
-	c.wg.Wait()
-}
-
-// write encodes one frame under the write lock. The write deadline keeps
-// a stalled peer with a full socket buffer from blocking the sender
-// forever; a deadline miss breaks the link like any other write error.
-func (c *ShardConn) write(f frame) error {
-	if err := c.Err(); err != nil {
-		return err // broken link: drop instead of touching the dead socket
-	}
-	c.wmu.Lock()
-	err := c.writeLocked(f)
-	c.wmu.Unlock()
-	return err
-}
-
-// writeLocked is write with c.wmu already held.
-func (c *ShardConn) writeLocked(f frame) error {
-	c.conn.SetWriteDeadline(time.Now().Add(c.stall))
-	err := c.enc.Encode(f)
-	if err != nil {
-		err = fmt.Errorf("stream: shard link %s: %w", c.addr, err)
-		c.fail(err)
-	}
-	return err
+	c.pc.sever(fmt.Errorf("stream: shard link %s: severed for failover", c.addr))
 }
 
 // acquireCredit takes one in-flight credit, blocking while remoteInflight
@@ -570,7 +677,16 @@ func (c *ShardConn) acquireCredit() error {
 	case <-c.done:
 		return c.Err()
 	default:
-		// Credit window exhausted: wait, but never forever.
+		// Credit window exhausted. Whatever is pending in the write buffer
+		// must reach the worker first — the acks we are about to wait on
+		// answer frames that may still be sitting there.
+		c.pc.wmu.Lock()
+		err := c.pc.flushLocked(true, c.stall)
+		c.pc.wmu.Unlock()
+		if err != nil {
+			return err
+		}
+		// Now wait, but never forever.
 		stall := time.NewTimer(c.stall)
 		select {
 		case <-c.credits:
@@ -581,45 +697,61 @@ func (c *ShardConn) acquireCredit() error {
 		case <-stall.C:
 			err := fmt.Errorf("stream: shard link %s: no ack in %s (worker stalled?)",
 				c.addr, c.stall)
-			c.fail(err)
+			c.pc.fail(err)
 			return err
 		}
 	}
 	return nil
 }
 
-// sendCredit encodes a credit-consuming frame (data or tick). Without
-// failover this is the whole send path; with it, sendEntry wraps the same
-// steps around the replay log.
-func (c *ShardConn) sendCredit(f frame) error {
-	if err := c.acquireCredit(); err != nil {
-		return err
-	}
-	return c.write(f)
-}
-
-// sendEntry ships one replayable frame. With failover enabled the entry is
-// appended to the replay log under the write lock — the log order is the
-// wire order — whether or not the link still delivers, so a redeployed
-// replica can replay exactly what the lost worker was sent.
-func (c *ShardConn) sendEntry(e logEntry, f frame) error {
-	if c.flog == nil {
-		return c.sendCredit(f)
-	}
+// sendFrame ships one credit-consuming, replayable frame (a data batch
+// for key, or — tick true — a clock instant), encoding it into the shared
+// write buffer under the link's write lock. With failover enabled the
+// entry is appended to the replay log under the same lock — the log order
+// is the wire order — whether or not the link still delivers, so a
+// redeployed replica can replay exactly what the lost worker was sent.
+// force flushes the buffer to the socket; otherwise frames coalesce until
+// a flush point (threshold, tick, barrier, or a credit wait).
+func (c *ShardConn) sendFrame(shard int, name, key string, ts []data.Tuple, tick bool, now vtime.Time, force bool) error {
 	live := c.Err() == nil
 	if live && c.acquireCredit() != nil {
 		live = false
 	}
-	c.wmu.Lock()
-	size := c.flog.append(e)
+	if c.flog == nil && !live {
+		return c.Err()
+	}
+	pc := c.pc
+	pc.wmu.Lock()
+	var size int
+	if c.flog != nil {
+		e := logEntry{shard: shard, name: name, tick: tick, now: now}
+		if !tick {
+			// The pipeline owns pushed tuples (nobody mutates them after the
+			// send), so the log retains them without cloning values.
+			e.batch = append([]data.Tuple(nil), ts...)
+		}
+		size = c.flog.append(e)
+	}
 	var err error
 	if live && c.Err() == nil {
-		err = c.writeLocked(f)
+		if tick {
+			m := pc.w.begin(frameTick)
+			pc.w.buf = appendUvarint(pc.w.buf, c.id)
+			pc.w.buf = appendU64(pc.w.buf, uint64(now))
+			pc.w.end(m)
+		} else {
+			m := pc.w.begin(frameData)
+			pc.w.buf = appendUvarint(pc.w.buf, c.id)
+			pc.w.buf = appendWireString(pc.w.buf, key)
+			pc.w.buf = appendBatch(pc.w.buf, ts)
+			pc.w.end(m)
+		}
+		err = pc.flushLocked(force, c.stall)
 	} else {
 		err = c.Err()
 	}
-	c.wmu.Unlock()
-	if err == nil && size >= c.ckMaxLog && !c.ckInflight.Load() {
+	pc.wmu.Unlock()
+	if err == nil && c.flog != nil && size >= c.ckMaxLog && !c.ckInflight.Load() {
 		// The replay log is getting long: checkpoint so it can truncate.
 		// The Load is advisory (checkpoint re-checks under the CAS); it
 		// keeps a fast producer from spawning a goroutine per batch while
@@ -629,15 +761,36 @@ func (c *ShardConn) sendEntry(e logEntry, f frame) error {
 	return err
 }
 
+// writeSeqFrame encodes one sequence-carrying control frame (flush,
+// close, checkpoint) and force-flushes: a barrier's waiter needs the
+// frame on the wire before the stall clock means anything.
+func (c *ShardConn) writeSeqFrame(kind frameKind, seq uint64) error {
+	if err := c.Err(); err != nil {
+		return err // broken link: drop instead of touching the dead socket
+	}
+	pc := c.pc
+	pc.wmu.Lock()
+	if err := c.Err(); err != nil {
+		pc.wmu.Unlock()
+		return err
+	}
+	m := pc.w.begin(kind)
+	pc.w.buf = appendUvarint(pc.w.buf, c.id)
+	pc.w.buf = appendUvarint(pc.w.buf, seq)
+	pc.w.end(m)
+	err := pc.flushLocked(true, c.stall)
+	pc.wmu.Unlock()
+	return err
+}
+
 // barrier encodes a sequence-matched frame and waits for its ack, marking
 // the link broken if none comes within the stall timeout.
-func (c *ShardConn) barrier(f frame) error {
+func (c *ShardConn) barrier(kind frameKind) error {
 	ch, seq, err := c.registerWait()
 	if err != nil {
 		return err
 	}
-	f.Seq = seq
-	if err := c.write(f); err != nil {
+	if err := c.writeSeqFrame(kind, seq); err != nil {
 		return err
 	}
 	return c.awaitAck(ch, "worker stalled, or not a shard worker?")
@@ -667,7 +820,7 @@ func (c *ShardConn) awaitAck(ch chan error, why string) error {
 	case err := <-ch:
 		return err
 	case <-stall.C:
-		c.fail(fmt.Errorf("stream: shard link %s: no barrier ack in %s (%s)",
+		c.pc.fail(fmt.Errorf("stream: shard link %s: no barrier ack in %s (%s)",
 			c.addr, c.stall, why))
 		// fail delivered the error to every registered waiter — but the
 		// real ack may have raced the timeout and buffered nil into ch
@@ -686,7 +839,35 @@ func (c *ShardConn) awaitAck(ch chan error, why string) error {
 // committed checkpoint, so a failover chain never loses the state a replica
 // was seeded with.
 func (c *ShardConn) Deploy(spec []byte, shard int, state []byte) error {
-	err := c.barrier(frame{Kind: frameDeploy, Spec: spec, Shard: shard, State: state})
+	ch, seq, err := c.registerWait()
+	if err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(deployBody{Seq: seq, Shard: shard, Spec: spec, State: state}); err != nil {
+		c.deliverAck(seq, nil) // unregister the orphaned wait
+		return fmt.Errorf("stream: encode deploy: %w", err)
+	}
+	werr := func() error {
+		if err := c.Err(); err != nil {
+			return err
+		}
+		pc := c.pc
+		pc.wmu.Lock()
+		defer pc.wmu.Unlock()
+		if err := c.Err(); err != nil {
+			return err
+		}
+		m := pc.w.begin(frameDeploy)
+		pc.w.buf = appendUvarint(pc.w.buf, c.id)
+		pc.w.buf = append(pc.w.buf, body.Bytes()...)
+		pc.w.end(m)
+		return pc.flushLocked(true, c.stall)
+	}()
+	if werr != nil {
+		return werr
+	}
+	err = c.awaitAck(ch, "worker stalled, or not a shard worker?")
 	if err == nil && c.flog != nil {
 		c.flog.setState(shard, state)
 	}
@@ -696,7 +877,7 @@ func (c *ShardConn) Deploy(spec []byte, shard int, state []byte) error {
 // checkpoint runs one checkpoint barrier: it marks the replay-log position
 // under the write lock (the FIFO consistency point), asks the worker for
 // its replica states, and lets the read loop commit them. At most one
-// checkpoint is in flight per connection; failures leave the logs intact
+// checkpoint is in flight per stream; failures leave the logs intact
 // (the next failover simply replays more).
 func (c *ShardConn) checkpoint() {
 	if c.flog == nil || !c.ckInflight.CompareAndSwap(false, true) {
@@ -707,14 +888,19 @@ func (c *ShardConn) checkpoint() {
 	if err != nil {
 		return
 	}
-	c.wmu.Lock()
+	pc := c.pc
+	pc.wmu.Lock()
 	if c.Err() != nil {
-		c.wmu.Unlock()
+		pc.wmu.Unlock()
 		return
 	}
 	c.flog.setMark()
-	err = c.writeLocked(frame{Kind: frameCheckpoint, Seq: seq})
-	c.wmu.Unlock()
+	m := pc.w.begin(frameCheckpoint)
+	pc.w.buf = appendUvarint(pc.w.buf, c.id)
+	pc.w.buf = appendUvarint(pc.w.buf, seq)
+	pc.w.end(m)
+	err = pc.flushLocked(true, c.stall)
+	pc.wmu.Unlock()
 	if err != nil {
 		return
 	}
@@ -728,9 +914,9 @@ func (c *ShardConn) Checkpoint() {
 }
 
 // SendBatch ships one data batch to the named replica head of a shard.
-// After it returns, the batch buffer may be reused: gob has copied the
-// tuples onto the wire (and the replay log keeps only the tuples, which the
-// pipeline owns).
+// After it returns, the batch buffer may be reused: the codec has copied
+// the tuples into the wire buffer (and the replay log keeps only the
+// tuples, which the pipeline owns).
 func (c *ShardConn) SendBatch(shard int, name string, ts []data.Tuple) error {
 	if len(ts) == 0 {
 		return nil
@@ -740,40 +926,38 @@ func (c *ShardConn) SendBatch(shard int, name string, ts []data.Tuple) error {
 
 // sendShard is SendBatch with the wire key precomposed (RemoteHead caches
 // it, keeping the exchange's per-batch path free of formatting
-// allocations).
+// allocations). The frame coalesces in the write buffer until the next
+// flush point — normally the tick that ends the epoch.
 func (c *ShardConn) sendShard(shard int, name, key string, ts []data.Tuple) error {
 	if len(ts) == 0 {
 		return nil
 	}
-	var e logEntry
-	if c.flog != nil {
-		// The pipeline owns pushed tuples (nobody mutates them after the
-		// send), so the log retains them without cloning values.
-		e = logEntry{shard: shard, name: name, batch: append([]data.Tuple(nil), ts...)}
-	}
-	return c.sendEntry(e, frame{Kind: frameData, Input: key, Batch: ts})
+	return c.sendFrame(shard, name, key, ts, false, 0, false)
 }
 
-// Tick advances every replica window deployed over this connection, and
-// paces the checkpoint cadence: every ckEvery-th tick schedules an
-// asynchronous checkpoint barrier.
+// Tick advances every replica window deployed over this stream, flushes
+// the write buffer (a tick ends an epoch: everything it should see must
+// reach the worker), and paces the checkpoint cadence: every ckEvery-th
+// tick schedules an asynchronous checkpoint barrier.
 func (c *ShardConn) Tick(now vtime.Time) error {
-	err := c.sendEntry(logEntry{tick: true, now: now}, frame{Kind: frameTick, Now: now})
+	err := c.sendFrame(0, "", "", nil, true, now, true)
 	if c.flog != nil && c.ckEvery > 0 && c.ticks.Add(1)%int64(c.ckEvery) == 0 && !c.ckInflight.Load() {
 		go c.checkpoint()
 	}
 	return err
 }
 
-// Flush barriers the connection: when it returns nil, every batch and tick
+// Flush barriers the stream: when it returns nil, every batch and tick
 // sent before the call has been processed by the worker and every result it
 // produced has been pushed into the sink.
 func (c *ShardConn) Flush() error {
-	return c.barrier(frame{Kind: frameFlush})
+	return c.barrier(frameFlush)
 }
 
-// Close barriers outstanding work, tears the replicas down on the worker,
-// and closes the connection. Safe to call on a broken link. Idempotent.
+// Close barriers outstanding work, tears this stream's replicas down on
+// the worker, and releases the stream's reference on the pooled physical
+// connection (the socket closes when the last deployment using this
+// worker releases it). Safe to call on a broken link. Idempotent.
 func (c *ShardConn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -782,9 +966,8 @@ func (c *ShardConn) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	err := c.barrier(frame{Kind: frameClose})
-	c.conn.Close()
-	c.wg.Wait()
+	err := c.barrier(frameClose)
+	c.pc.dropStream(c)
 	return err
 }
 

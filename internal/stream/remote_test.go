@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -261,15 +262,24 @@ func TestShardConnStalledWorker(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		dec := gob.NewDecoder(conn)
-		enc := gob.NewEncoder(conn)
+		r := newWireReader(conn)
+		wr := &wireWriter{conn: conn}
 		for {
-			var f frame
-			if err := dec.Decode(&f); err != nil {
+			kind, body, err := r.next()
+			if err != nil {
 				return
 			}
-			if f.Kind == frameDeploy {
-				enc.Encode(frame{Kind: frameAck, Seq: f.Seq})
+			br := &byteReader{b: body}
+			id := br.uvarint()
+			if kind == frameDeploy {
+				var db deployBody
+				if gob.NewDecoder(bytes.NewReader(br.rest())).Decode(&db) != nil {
+					return
+				}
+				appendAckFrame(wr, id, db.Seq, 0, "")
+				if wr.flush() != nil {
+					return
+				}
 			}
 			// Data frames are read but never acked: the worker "stalls".
 		}

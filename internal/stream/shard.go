@@ -203,7 +203,10 @@ type ShardSet struct {
 	// conns[j] non-nil marks shard j remote: its replica lives on a
 	// ShardWorker behind that connection, so batches route over the wire
 	// instead of through queue j. uconns holds each distinct connection
-	// once, for tick fan-out and barriers.
+	// once, for tick fan-out and barriers. A ShardConn is a logical
+	// stream: connections to the same worker share one pooled socket,
+	// and a physical-link failure fails every stream on it, so each
+	// affected deployment's failover runs independently.
 	conns  []*ShardConn
 	uconns []*ShardConn
 	// sharders lists the set's exchanges; failover rewires their per-shard

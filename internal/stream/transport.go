@@ -1,7 +1,7 @@
 package stream
 
 import (
-	"encoding/gob"
+	"bytes"
 	"fmt"
 	"net"
 	"sync"
@@ -13,9 +13,10 @@ import (
 
 // The exchange layer ships tuples between stream-engine nodes. Inside one
 // process, InProc wires engines directly; across machines, Server/Remote
-// speak a gob-encoded frame protocol over TCP. Both implement Transport, so
-// plan deployment does not care where a node runs — the "distributed stream
-// engine over PCs" of §3.
+// speak the binary framed protocol of wire.go over TCP (columnar batch
+// bodies; gob survives only inside deploy/checkpoint bodies). Both
+// implement Transport, so plan deployment does not care where a node runs
+// — the "distributed stream engine over PCs" of §3.
 
 // Transport delivers tuples to a (possibly remote) engine's named input.
 type Transport interface {
@@ -28,8 +29,10 @@ type Transport interface {
 	Close() error
 }
 
-// frameKind discriminates wire frames. The zero value is a data frame, so
-// pre-existing peers that never set Kind keep decoding as before.
+// frameKind discriminates wire frames. The numbering is stable across
+// protocol revisions — a data frame is kind 0 today as it was under the
+// original gob framing — so peers agree at the frame-kind level even as
+// body encodings evolve.
 type frameKind uint8
 
 const (
@@ -67,22 +70,6 @@ const (
 	// truncate its replay and undo logs exactly at the decode.
 	frameCkptState
 )
-
-// frame is the wire format of the exchange layer. Which fields are
-// meaningful depends on Kind; a data frame populates exactly one of Tuple
-// (single delivery) or Batch (batched delivery).
-type frame struct {
-	Kind  frameKind
-	Input string
-	Tuple data.Tuple
-	Batch []data.Tuple
-	Now   vtime.Time // frameTick
-	Seq   uint64     // barrier/deploy/ack matching; 0 on credit acks
-	Shard int        // frameDeploy: which shard replica the spec builds
-	Spec  []byte     // frameDeploy payload, opaque to the stream layer
-	State []byte     // frameDeploy: optional checkpoint to restore into the replica
-	Err   string     // frameAck: non-empty reports a failed deploy/barrier
-}
 
 // InProc is a Transport bound directly to a local engine.
 type InProc struct{ e *Engine }
@@ -197,25 +184,41 @@ func NewServer(e *Engine, addr string) (*Server, error) {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
+	r := newWireReader(conn)
+	var dec batchDecoder
+	// The input name repeats on every data frame of a stream; memoize the
+	// bytes→string conversion so the steady state allocates nothing for it.
+	var lastNameB []byte
+	var lastName string
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
+		kind, body, err := r.next()
+		if err != nil {
 			// Clean disconnect or malformed peer alike: drop only this
 			// connection, keep the engine up.
 			return
 		}
-		switch f.Kind {
+		br := &byteReader{b: body}
+		br.uvarint() // stream id: the plain transport is single-stream (0)
+		switch kind {
 		case frameData:
+			nameB := br.bytes(int(br.uvarint()))
+			batch, derr := dec.decode(br)
+			if derr != nil || br.fail {
+				return
+			}
+			if !bytes.Equal(nameB, lastNameB) {
+				lastNameB = append(lastNameB[:0], nameB...)
+				lastName = string(nameB)
+			}
 			// Unknown inputs are dropped with no way to NACK mid-stream; the
 			// sender validated the deployment before wiring.
-			if f.Batch != nil {
-				_ = s.e.PushBatch(f.Input, f.Batch)
-			} else {
-				_ = s.e.Push(f.Input, f.Tuple)
-			}
+			_ = s.e.PushBatch(lastName, batch)
 		case frameTick:
-			s.e.Advance(f.Now)
+			now := vtimeFrom(br.u64())
+			if br.fail {
+				return
+			}
+			s.e.Advance(now)
 		default:
 			// Shard frames (deploy/flush/close) need the acked worker
 			// protocol (ShardWorker); a plain engine server drops them.
@@ -223,11 +226,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Remote is a TCP Transport to a Server.
+// Remote is a TCP Transport to a Server. It encodes into a reused buffer
+// and flushes every send (the plain transport has no credit protocol to
+// pace coalescing against).
 type Remote struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	w    *wireWriter
 }
 
 // Dial connects to a remote engine server.
@@ -236,20 +241,16 @@ func Dial(addr string) (*Remote, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
 	}
-	return &Remote{conn: conn, enc: gob.NewEncoder(conn)}, nil
+	return &Remote{conn: conn, w: &wireWriter{conn: conn}}, nil
 }
 
-// Send implements Transport.
+// Send implements Transport: the tuple travels as a singleton batch.
 func (r *Remote) Send(input string, t data.Tuple) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.enc.Encode(frame{Input: input, Tuple: t}); err != nil {
-		return fmt.Errorf("stream: send to %s: %w", r.conn.RemoteAddr(), err)
-	}
-	return nil
+	batch := [1]data.Tuple{t}
+	return r.SendBatch(input, batch[:])
 }
 
-// SendBatch implements Transport: the whole batch travels in one gob
+// SendBatch implements Transport: the whole batch travels in one columnar
 // frame, one syscall-sized write instead of len(ts).
 func (r *Remote) SendBatch(input string, ts []data.Tuple) error {
 	if len(ts) == 0 {
@@ -257,7 +258,12 @@ func (r *Remote) SendBatch(input string, ts []data.Tuple) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.enc.Encode(frame{Input: input, Batch: ts}); err != nil {
+	m := r.w.begin(frameData)
+	r.w.buf = appendUvarint(r.w.buf, 0)
+	r.w.buf = appendWireString(r.w.buf, input)
+	r.w.buf = appendBatch(r.w.buf, ts)
+	r.w.end(m)
+	if err := r.w.flush(); err != nil {
 		return fmt.Errorf("stream: send batch to %s: %w", r.conn.RemoteAddr(), err)
 	}
 	return nil
@@ -268,7 +274,11 @@ func (r *Remote) SendBatch(input string, ts []data.Tuple) error {
 func (r *Remote) SendTick(now vtime.Time) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.enc.Encode(frame{Kind: frameTick, Now: now}); err != nil {
+	m := r.w.begin(frameTick)
+	r.w.buf = appendUvarint(r.w.buf, 0)
+	r.w.buf = appendU64(r.w.buf, uint64(now))
+	r.w.end(m)
+	if err := r.w.flush(); err != nil {
 		return fmt.Errorf("stream: tick to %s: %w", r.conn.RemoteAddr(), err)
 	}
 	return nil

@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"encoding/gob"
 	"net"
 	"testing"
 	"time"
@@ -73,9 +72,9 @@ func TestServerSurvivesMalformedFrame(t *testing.T) {
 	waitFor(t, func() bool { return col.Len() == 1 })
 
 	for name, garbage := range map[string][]byte{
-		// A complete one-byte message naming a corrupt type id: the decoder
-		// fails without waiting for more bytes.
-		"garbage": {0x01, 0x00},
+		// A complete length prefix far past the frame-size bound: the
+		// decoder fails without waiting for more bytes.
+		"garbage": {0xFF, 0xFF, 0xFF, 0xFF},
 		// A truncated frame: a plausible length prefix, then EOF.
 		"truncated": {0x40, 0x01},
 	} {
@@ -366,15 +365,15 @@ func TestShardConnTruncatedBarrierAck(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		dec := gob.NewDecoder(conn)
+		r := newWireReader(conn)
 		for {
-			var f frame
-			if err := dec.Decode(&f); err != nil {
+			kind, _, err := r.next()
+			if err != nil {
 				return
 			}
-			if f.Kind == frameFlush {
+			if kind == frameFlush {
 				// A plausible length prefix, then EOF: the ack truncates.
-				conn.Write([]byte{0x40, 0x01})
+				conn.Write([]byte{0x40, 0x01, 0x00, 0x00})
 				return
 			}
 		}
@@ -434,7 +433,8 @@ func TestShardWorkerSurvivesMalformedFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer bad.Close()
-	if _, err := bad.Write([]byte{0x01, 0x00}); err != nil {
+	// A complete frame of an unknown kind: a non-protocol peer.
+	if _, err := bad.Write([]byte{0x01, 0x00, 0x00, 0x00, 0xEE}); err != nil {
 		t.Fatal(err)
 	}
 	bad.SetReadDeadline(time.Now().Add(5 * time.Second))
