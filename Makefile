@@ -20,11 +20,12 @@ check: build vet fmt test
 
 # bench runs the E1-E10 microbenchmarks with allocation stats, then
 # regenerates the experiment tables (including the E7 shard,
-# global-aggregate, multi-node, and failover-armed sweeps) and writes
-# them, plus the recorded seed/PR-1..PR-5 baselines, to BENCH_PR6.json.
+# global-aggregate, multi-node, and elastic/failover-armed sweeps) and
+# writes them, plus the recorded seed/PR-1..PR-6 baselines, to
+# BENCH_PR7.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
-	$(GO) run ./cmd/benchharness -json BENCH_PR6.json
+	$(GO) run ./cmd/benchharness -json BENCH_PR7.json
 
 # bench-smoke compiles and runs every benchmark in every package exactly
 # once, so benchmarks cannot rot uncompiled between PRs; mirrored by the
@@ -64,12 +65,29 @@ chaos:
 		./internal/plan/ -fuzzshard.kill=8 -v
 	$(GO) test -race -run 'Failover|CheckpointRestore' ./internal/stream/ -v
 
+# elastic runs the join/leave/restart differential under the race
+# detector: random plans serve while workers are added and removed
+# (live rescales over the mux), killed (failover, then heal-back when a
+# replacement rejoins), and while the coordinator itself is restarted
+# mid-run and rehydrated from its snapshot — the materialized result
+# must stay multiset-equal to serial execution, including the
+# forced-hash-collision sweep. The stream-level elastic matrix (pool
+# eviction/redial race, per-shard undeploy, rescale validation) rides
+# along. Mirrored by the CI `distributed` job.
+.PHONY: elastic
+elastic:
+	$(GO) test -race -run 'ShardDifferentialElastic|ShardDifferentialJoinLeaveRestart|RescaleLiveDeployment|RescaleHealBack|CoordinatorSnapshot|SnapshotLoadFaults' \
+		./internal/plan/ -fuzzshard.elastic=6 -v
+	$(GO) test -race -run 'ShardPoolEvictionRedialRace|ShardConnUndeploy|RescaleValidation' \
+		./internal/stream/ -v
+
 # cover gates statement coverage of the partition-parallel core packages:
 # the floors rise as coverage grows (PR 3 introduced the gate; PR 5 raised
-# it with the failover subsystem; PR 6 with the wire codec + mux tests),
-# so new code must arrive tested.
-COVER_FLOOR_STREAM := 91.2
-COVER_FLOOR_PLAN   := 86.4
+# it with the failover subsystem; PR 6 with the wire codec + mux tests;
+# PR 7 with the elastic rescale + coordinator snapshot tests), so new
+# code must arrive tested.
+COVER_FLOOR_STREAM := 91.5
+COVER_FLOOR_PLAN   := 86.5
 .PHONY: cover
 cover:
 	@check() { \

@@ -5,6 +5,18 @@
 //	go run ./cmd/aspenql -q "SELECT t.room, avg(t.value) FROM Temperature t GROUP BY t.room"
 //	go run ./cmd/aspenql -plan -q "SELECT t.room, t.value FROM Temperature t, Light l WHERE t.room = l.room AND t.desk = l.desk AND l.value < 10"
 //	echo "CREATE VIEW V AS (SELECT l.room FROM Light l); SELECT v.room FROM V v" | go run ./cmd/aspenql
+//
+// Elastic administration: statements may be interleaved with backslash
+// directives — `\rescale addr1,addr2` live-migrates every deployed sharded
+// query onto a new worker topology (empty list heals everything back
+// in-process), and `\save` checkpoints all standing queries to the
+// -snapshot file. With -snapshot plus -restore, a fresh coordinator
+// rehydrates the standing queries recorded in the file and resumes them
+// from their last committed checkpoint:
+//
+//	go run ./cmd/aspenql -par 2 -snapshot coord.snap \
+//	  -q "SELECT t.room, avg(t.value) FROM Temperature t GROUP BY t.room; \save"
+//	go run ./cmd/aspenql -par 2 -snapshot coord.snap -restore
 package main
 
 import (
@@ -28,6 +40,8 @@ func main() {
 	par := flag.Int("par", 1, "shard deployed stream plans across this many pipeline replicas")
 	nodes := flag.String("nodes", "", "comma-separated shardworker addresses to spread replicas over (see cmd/shardworker; empty entries stay in-process; requires -par >= 2)")
 	failover := flag.Bool("failover", false, "redeploy the shards of a dead or stalled worker from their last checkpoint onto a surviving worker (or in-process), keeping results exact across the loss (requires -nodes)")
+	snapshot := flag.String("snapshot", "", "durable coordinator: track standing queries in this snapshot file (written by the \\save directive, read by -restore)")
+	restore := flag.Bool("restore", false, "rehydrate the standing queries recorded in the -snapshot file and resume them from their last committed checkpoint before running any statements")
 	flag.Parse()
 
 	var topo []string
@@ -43,12 +57,16 @@ func main() {
 	if *failover && len(topo) == 0 {
 		log.Fatal("-failover needs a -nodes worker topology to fail over from")
 	}
+	if *restore && *snapshot == "" {
+		log.Fatal("-restore needs a -snapshot file to restore from")
+	}
 	app, err := aspen.NewSmartCIS(aspen.SmartCISOptions{
 		Building:       aspen.BuildingConfig{Labs: *labs, DesksPerLab: 6, HallSpacing: 100, Offices: 2},
 		SkipPDUServers: false,
 		Parallelism:    *par,
 		Nodes:          topo,
 		Failover:       *failover,
+		SnapshotPath:   *snapshot,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,7 +89,11 @@ func main() {
 
 	var statements []string
 	if *query != "" {
-		statements = []string{*query}
+		for _, s := range strings.Split(*query, ";") {
+			if strings.TrimSpace(s) != "" {
+				statements = append(statements, s)
+			}
+		}
 	} else {
 		sc := bufio.NewScanner(os.Stdin)
 		sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -86,13 +108,54 @@ func main() {
 			}
 		}
 	}
-	if len(statements) == 0 {
-		fmt.Fprintln(os.Stderr, "no statements; use -q or pipe SQL on stdin")
+	if len(statements) == 0 && !*restore {
+		fmt.Fprintln(os.Stderr, "no statements; use -q, pipe SQL on stdin, or -restore a snapshot")
 		os.Exit(2)
+	}
+
+	showResult := func(q *aspen.Query) {
+		rows, err := q.Snapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("result after %s of building time (%d rows):\n", *runFor, len(rows))
+		for i, r := range rows {
+			if i == 20 {
+				fmt.Printf("  ... %d more\n", len(rows)-20)
+				break
+			}
+			cells := make([]string, len(r.Vals))
+			for j, v := range r.Vals {
+				cells[j] = v.String()
+			}
+			fmt.Printf("  %s\n", strings.Join(cells, " | "))
+		}
+		fmt.Println()
+	}
+
+	if *restore {
+		qs, err := app.RestoreSnapshot()
+		if err != nil {
+			log.Fatalf("restore: %v", err)
+		}
+		fmt.Printf("restored %d standing queries from %s\n", len(qs), *snapshot)
+		app.Sched.RunFor(*runFor)
+		for _, q := range qs {
+			fmt.Printf("aspenql> [%s] %s\n", q.Name(), strings.Join(strings.Fields(q.SQL), " "))
+			showResult(q)
+		}
 	}
 
 	for _, stmt := range statements {
 		fmt.Printf("aspenql> %s\n", strings.Join(strings.Fields(stmt), " "))
+		if cmd := strings.TrimSpace(stmt); strings.HasPrefix(cmd, `\`) {
+			if err := adminDirective(app, cmd); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
 		q, err := app.RT.Run(stmt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -114,23 +177,39 @@ func main() {
 			continue
 		}
 		app.Sched.RunFor(*runFor)
-		rows, err := q.Snapshot()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("result after %s of building time (%d rows):\n", *runFor, len(rows))
-		for i, r := range rows {
-			if i == 20 {
-				fmt.Printf("  ... %d more\n", len(rows)-20)
-				break
-			}
-			cells := make([]string, len(r.Vals))
-			for j, v := range r.Vals {
-				cells[j] = v.String()
-			}
-			fmt.Printf("  %s\n", strings.Join(cells, " | "))
-		}
-		fmt.Println()
+		showResult(q)
 	}
+}
+
+// adminDirective executes one backslash admin command against the running
+// deployment: \rescale addr1,addr2 live-migrates every sharded query
+// (empty list heals everything back in-process), \save checkpoints all
+// standing queries to the -snapshot file.
+func adminDirective(app *aspen.SmartCIS, cmd string) error {
+	verb, rest, _ := strings.Cut(cmd, " ")
+	switch verb {
+	case `\rescale`:
+		var nodes []string
+		if rest = strings.TrimSpace(rest); rest != "" {
+			for _, n := range strings.Split(rest, ",") {
+				nodes = append(nodes, strings.TrimSpace(n))
+			}
+		}
+		if err := app.Rescale(nodes); err != nil {
+			return err
+		}
+		if len(nodes) == 0 {
+			fmt.Println("rescaled: all shards in-process")
+		} else {
+			fmt.Printf("rescaled onto %s\n", strings.Join(nodes, ", "))
+		}
+		return nil
+	case `\save`:
+		if err := app.SaveSnapshot(); err != nil {
+			return err
+		}
+		fmt.Println("snapshot saved")
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q (have \\rescale, \\save)", verb)
 }

@@ -3,7 +3,7 @@
 //
 //	go run ./cmd/benchharness                       # all experiments
 //	go run ./cmd/benchharness E2 E4                 # a subset
-//	go run ./cmd/benchharness -json BENCH_PR6.json  # machine-readable dump
+//	go run ./cmd/benchharness -json BENCH_PR7.json  # machine-readable dump
 //
 // With -json, the selected experiment tables are also written to the given
 // file together with the recorded seed baselines of the hot-path
@@ -93,6 +93,23 @@ var pr5Baselines = map[string]string{
 	"E7RemoteShardedFailover/W=1": "2615 ns/op, 4 allocs/op",
 }
 
+// pr6Baselines records the post-PR-6 numbers (single-core CI container,
+// columnar wire codec, multiplexed connections) that PR 7's elastic
+// membership is measured against: armed-but-idle rescale support must
+// keep the in-process sweeps at 0 allocs/op and stay within 5% on the
+// W=1 wire path.
+var pr6Baselines = map[string]string{
+	"E7StreamThroughputSharded/P=1": "214 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=2": "257 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=4": "285 ns/op, 0 allocs/op",
+	"E7StreamThroughputSharded/P=8": "362 ns/op, 0 allocs/op",
+	"E7RemoteSharded/W=0":           "285 ns/op, 0 allocs/op",
+	"E7RemoteSharded/W=1":           "422 ns/op, 0 allocs/op",
+	"E7RemoteSharded/W=2":           "364 ns/op, 0 allocs/op",
+	"E7RemoteShardedFailover/W=0":   "298 ns/op, 0 allocs/op",
+	"E7RemoteShardedFailover/W=1":   "621 ns/op, 0 allocs/op",
+}
+
 type report struct {
 	// SeedBaseline holds the pre-optimization microbenchmark numbers for
 	// the benchmarks the PR-1 acceptance criteria track.
@@ -111,7 +128,10 @@ type report struct {
 	PR4Baseline map[string]string `json:"pr4_baseline"`
 	// PR5Baseline holds the post-PR-5 gob-era remote numbers that PR 6's
 	// columnar wire codec + multiplexing are compared against.
-	PR5Baseline map[string]string   `json:"pr5_baseline"`
+	PR5Baseline map[string]string `json:"pr5_baseline"`
+	// PR6Baseline holds the post-PR-6 numbers that PR 7's elastic
+	// membership (always-armed rescale support) is compared against.
+	PR6Baseline map[string]string   `json:"pr6_baseline"`
 	Experiments []experiments.Table `json:"experiments"`
 }
 
@@ -139,7 +159,8 @@ func main() {
 	}
 	rep := report{SeedBaseline: seedBaselines, PR1Baseline: pr1Baselines,
 		PR2Baseline: pr2Baselines, PR3Baseline: pr3Baselines,
-		PR4Baseline: pr4Baselines, PR5Baseline: pr5Baselines}
+		PR4Baseline: pr4Baselines, PR5Baseline: pr5Baselines,
+		PR6Baseline: pr6Baselines}
 	for _, id := range want {
 		fn, ok := all[strings.ToUpper(id)]
 		if !ok {

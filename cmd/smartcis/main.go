@@ -23,11 +23,13 @@ func main() {
 	frames := flag.Int("frames", 6, "scenario frames to render")
 	need := flag.String("need", "fedora linux", "software the visitor needs")
 	seed := flag.Int64("seed", 2009, "simulation seed")
+	snapshot := flag.String("snapshot", "", "save a durable coordinator snapshot of the standing queries to this file when the scenario ends")
 	flag.Parse()
 
 	app, err := aspen.NewSmartCIS(aspen.SmartCISOptions{
-		Building: aspen.BuildingConfig{Labs: *labs, DesksPerLab: *desks, HallSpacing: 100, Offices: 2},
-		Seed:     *seed,
+		Building:     aspen.BuildingConfig{Labs: *labs, DesksPerLab: *desks, HallSpacing: 100, Offices: 2},
+		Seed:         *seed,
+		SnapshotPath: *snapshot,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -117,4 +119,10 @@ func main() {
 	}
 	fmt.Printf("final occupancy result (%d rows); radio: %d msgs, %.1f mJ\n",
 		len(rows), app.Net.Metrics().Sent, app.Net.Metrics().EnergyMJ)
+	if *snapshot != "" {
+		if err := app.SaveSnapshot(); err != nil {
+			log.Fatalf("snapshot: %v", err)
+		}
+		fmt.Printf("coordinator snapshot saved to %s\n", *snapshot)
+	}
 }

@@ -64,6 +64,13 @@ type Config struct {
 	// deploy barriers, in-flight credits); a worker silent past it is a
 	// detected failure. 0 keeps the stream-layer default (30s).
 	FailoverStallTimeout time.Duration
+	// SnapshotPath makes the coordinator durable: deployed SELECT queries
+	// are tracked by a plan.Coordinator that SaveSnapshot persists to this
+	// file (atomic, checksummed) and RestoreSnapshot rehydrates after a
+	// coordinator restart — standing queries recompile onto their
+	// snapshotted shard placement and resume from the last committed
+	// checkpoint. Empty keeps the coordinator in-memory only.
+	SnapshotPath string
 }
 
 // Runtime is one assembled ASPEN instance.
@@ -81,6 +88,11 @@ type Runtime struct {
 	ckEvery     int
 	stall       time.Duration
 	tickCancel  func()
+
+	// coord tracks SELECT deployments for durable snapshots (SnapshotPath);
+	// qn numbers them q1, q2, … in deploy order.
+	coord *plan.Coordinator
+	qn    int
 }
 
 // New builds a runtime.
@@ -108,6 +120,9 @@ func New(cfg Config) *Runtime {
 		failover:    cfg.Failover,
 		ckEvery:     cfg.CheckpointEvery,
 		stall:       cfg.FailoverStallTimeout,
+	}
+	if cfg.SnapshotPath != "" {
+		rt.coord = plan.NewCoordinator(rt.Stream, cfg.SnapshotPath)
 	}
 	rt.fed = &federation.Federator{Cat: rt.Cat}
 	if cfg.SensorEngine != nil {
@@ -157,8 +172,13 @@ type Query struct {
 	Partition *federation.Result
 
 	rt      *Runtime
+	name    string // coordinator-tracked name ("" without SnapshotPath)
 	runners []interface{ Stop() }
 }
+
+// Name reports the query's coordinator-tracked name ("" when the runtime
+// has no durable coordinator).
+func (q *Query) Name() string { return q.name }
 
 // Snapshot returns the current result under the query's ORDER BY/LIMIT.
 func (q *Query) Snapshot() ([]data.Tuple, error) {
@@ -177,9 +197,28 @@ func (q *Query) Stop() {
 		r.Stop()
 	}
 	q.runners = nil
+	if q.name != "" && q.rt.coord != nil {
+		// Drop closes the deployment and stops snapshotting it.
+		_ = q.rt.coord.Drop(q.name)
+		q.name = ""
+		return
+	}
 	if q.Deployment != nil {
 		q.Deployment.Close()
 	}
+}
+
+// Rescale moves this query's sharded deployment onto a new worker
+// topology (see plan.Deployment.Rescale): live re-sharding when workers
+// join or leave, and heal-back after a failover once the worker rejoins.
+func (q *Query) Rescale(nodes []string) error {
+	if q.Deployment == nil {
+		return fmt.Errorf("core: statement %q has no deployment to rescale", q.SQL)
+	}
+	if q.name != "" && q.rt.coord != nil {
+		return q.rt.coord.Rescale(q.name, nodes)
+	}
+	return q.Deployment.Rescale(nodes)
 }
 
 // Run parses and deploys one StreamSQL statement.
@@ -216,13 +255,21 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 	if err != nil {
 		return nil, err
 	}
-	dep, err := plan.CompileStreamOpts(res.Chosen.StreamPlan, rt.Stream,
-		plan.CompileOptions{Parallelism: rt.parallelism, Nodes: rt.nodes,
-			Failover: rt.failover, CheckpointEvery: rt.ckEvery, StallTimeout: rt.stall})
+	opts := plan.CompileOptions{Parallelism: rt.parallelism, Nodes: rt.nodes,
+		Failover: rt.failover, CheckpointEvery: rt.ckEvery, StallTimeout: rt.stall}
+	var dep *plan.Deployment
+	var name string
+	if rt.coord != nil {
+		rt.qn++
+		name = fmt.Sprintf("q%d", rt.qn)
+		dep, err = rt.coord.Deploy(name, res.Chosen.StreamPlan, opts)
+	} else {
+		dep, err = plan.CompileStreamOpts(res.Chosen.StreamPlan, rt.Stream, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
-	q := &Query{SQL: sqlText, Deployment: dep, Partition: res, rt: rt}
+	q := &Query{SQL: sqlText, Deployment: dep, Partition: res, rt: rt, name: name}
 	// A failure past this point must tear the deployment back down — Stop
 	// cancels the runners started so far and closes any shard workers, so
 	// a failed deploy leaks neither goroutines nor tick work.
@@ -281,6 +328,72 @@ func (rt *Runtime) loadTables(dep *plan.Deployment) {
 		})
 		th.Load(rows)
 	}
+}
+
+// Coordinator exposes the durable coordinator (nil without SnapshotPath).
+func (rt *Runtime) Coordinator() *plan.Coordinator { return rt.coord }
+
+// SaveSnapshot checkpoints every coordinator-tracked query at a quiescent
+// barrier and atomically replaces the snapshot file (Config.SnapshotPath).
+func (rt *Runtime) SaveSnapshot() error {
+	if rt.coord == nil {
+		return fmt.Errorf("core: no SnapshotPath configured")
+	}
+	return rt.coord.Save()
+}
+
+// RestoreSnapshot rehydrates the standing queries recorded in the
+// snapshot file onto this runtime: each recompiles with its shards pinned
+// to the snapshotted placement and every operator restored from the last
+// committed checkpoint. Table loads are NOT replayed — the restored join
+// and window state already contains them; sources push new input as
+// usual. Sensor-engine fragments do not survive a coordinator restart
+// (re-run those queries). Returns the restored queries in name order; a
+// validation or compile failure restores nothing and reports why.
+func (rt *Runtime) RestoreSnapshot() ([]*Query, error) {
+	if rt.coord == nil {
+		return nil, fmt.Errorf("core: no SnapshotPath configured")
+	}
+	if err := rt.coord.Restore(); err != nil {
+		return nil, err
+	}
+	var qs []*Query
+	for _, name := range rt.coord.Names() {
+		dep, _ := rt.coord.Deployment(name)
+		sqlText := name
+		if b, ok := rt.coord.Built(name); ok {
+			sqlText = b.String()
+		}
+		qs = append(qs, &Query{SQL: sqlText, Deployment: dep, rt: rt, name: name})
+		// Keep q1, q2, … unique across the restart.
+		var n int
+		if _, err := fmt.Sscanf(name, "q%d", &n); err == nil && n > rt.qn {
+			rt.qn = n
+		}
+	}
+	return qs, nil
+}
+
+// Rescale retargets the runtime's worker topology: future deployments
+// place shards over nodes, and every coordinator-tracked sharded query
+// live-migrates onto it (workers that joined take shards, leaving workers
+// hand theirs back, failover-stranded shards heal back out). Queries
+// deployed without the coordinator rescale individually via Query.Rescale.
+func (rt *Runtime) Rescale(nodes []string) error {
+	rt.nodes = nodes
+	if rt.coord == nil {
+		return nil
+	}
+	for _, name := range rt.coord.Names() {
+		dep, ok := rt.coord.Deployment(name)
+		if !ok || dep.Shards < 2 {
+			continue
+		}
+		if err := rt.coord.Rescale(name, nodes); err != nil {
+			return fmt.Errorf("core: rescale %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // RegisterTable adds a stored relation to the catalog and the engine.

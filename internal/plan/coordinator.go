@@ -1,0 +1,330 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"aspen/internal/stream"
+)
+
+// Coordinator makes the coordinator process itself survivable. It tracks
+// every named deployment on one engine and persists the lot — logical
+// plans, compile options, the live shard placement, and a consistent
+// checkpoint of every operator's state — to a single snapshot file. A
+// restarted coordinator rehydrates its standing queries from that file and
+// resumes from the last committed checkpoint, closing the survivability
+// gap PR 5 left: workers could die and recover, but the coordinator was a
+// single point of total loss.
+//
+// # Snapshot format
+//
+// One file, written atomically (temp file + rename on the same
+// directory):
+//
+//	offset  size  field
+//	0       8     magic "ASPENSNP"
+//	8       4     format version (little-endian u32, currently 1)
+//	12      4     CRC-32 (IEEE) of the body
+//	16      —     body: gob-encoded snapFile
+//
+// The body holds one record per deployment: the wire-encoded plan tree
+// (the same wireNode mirror shard workers deploy from), the presentation
+// spec (ORDER BY / LIMIT / display), the compile options, the per-shard
+// placement and operator states, and the coordinator-side state (serial
+// pipeline or two-phase spine plus the materialized result). Load
+// verifies magic, version, and checksum before decoding, so a truncated,
+// corrupted, or stale-format file is a clean error — never a panic or a
+// silently partial rehydration.
+type Coordinator struct {
+	eng  *stream.Engine
+	path string
+
+	mu   sync.Mutex
+	deps map[string]*coordEntry
+}
+
+type coordEntry struct {
+	dep   *Deployment
+	built *Built
+	opts  CompileOptions
+}
+
+const (
+	snapMagic   = "ASPENSNP"
+	snapVersion = 1
+)
+
+// snapFile is the gob body of a coordinator snapshot.
+type snapFile struct {
+	Deployments []snapDeployment
+}
+
+// snapDeployment is one standing query's durable record.
+type snapDeployment struct {
+	Name string
+
+	// Logical plan and presentation (Built).
+	Root         wireNode
+	OrderBy      []stream.OrderSpec
+	Limit        int
+	Display      string
+	SamplePeriod time.Duration
+
+	// Compile options the deployment ran with.
+	Parallelism     int
+	Nodes           []string
+	Failover        bool
+	CheckpointEvery int
+	StallTimeout    time.Duration
+
+	// Live topology and state at the snapshot's consistency point.
+	Placement []string
+	Shards    map[int][]byte
+	Coord     []byte
+}
+
+// NewCoordinator tracks deployments on eng and snapshots them to path.
+func NewCoordinator(eng *stream.Engine, path string) *Coordinator {
+	return &Coordinator{eng: eng, path: path, deps: map[string]*coordEntry{}}
+}
+
+// Deploy compiles b under name and tracks it for snapshots. Names must be
+// unique among live deployments.
+func (c *Coordinator) Deploy(name string, b *Built, opts CompileOptions) (*Deployment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.deps[name]; ok {
+		return nil, fmt.Errorf("plan: deployment %q already exists", name)
+	}
+	dep, err := CompileStreamOpts(b, c.eng, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.deps[name] = &coordEntry{dep: dep, built: b, opts: opts}
+	return dep, nil
+}
+
+// Deployment returns a tracked deployment by name.
+func (c *Coordinator) Deployment(name string) (*Deployment, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.deps[name]
+	if !ok {
+		return nil, false
+	}
+	return e.dep, true
+}
+
+// Built returns the logical plan a tracked deployment compiled from.
+func (c *Coordinator) Built(name string) (*Built, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.deps[name]
+	if !ok {
+		return nil, false
+	}
+	return e.built, true
+}
+
+// Names lists tracked deployments, sorted.
+func (c *Coordinator) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.deps))
+	for n := range c.deps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop closes and forgets a tracked deployment.
+func (c *Coordinator) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.deps[name]
+	if !ok {
+		return fmt.Errorf("plan: no deployment %q", name)
+	}
+	e.dep.Close()
+	delete(c.deps, name)
+	return nil
+}
+
+// Rescale moves one tracked deployment onto a new worker topology (see
+// Deployment.Rescale) and records the topology for future snapshots.
+func (c *Coordinator) Rescale(name string, nodes []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.deps[name]
+	if !ok {
+		return fmt.Errorf("plan: no deployment %q", name)
+	}
+	if err := e.dep.Rescale(nodes); err != nil {
+		return err
+	}
+	e.opts.Nodes = nodes
+	return nil
+}
+
+// Close tears down every tracked deployment (the snapshot file stays).
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.deps {
+		e.dep.Close()
+	}
+	c.deps = map[string]*coordEntry{}
+}
+
+// Save checkpoints every tracked deployment at a quiescent barrier and
+// atomically replaces the snapshot file. The snapshot is the last
+// committed state a restarted coordinator resumes from; input pushed
+// after a Save and before a crash is lost to the restarted coordinator
+// (sources replay from their own cursors, as in the paper's model).
+func (c *Coordinator) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var f snapFile
+	names := make([]string, 0, len(c.deps))
+	for n := range c.deps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := c.deps[name]
+		root, err := encodeNode(e.built.Root)
+		if err != nil {
+			return fmt.Errorf("plan: snapshot %q: %w", name, err)
+		}
+		e.dep.Flush()
+		shards, coord, err := e.dep.captureStates()
+		if err != nil {
+			return fmt.Errorf("plan: snapshot %q: %w", name, err)
+		}
+		f.Deployments = append(f.Deployments, snapDeployment{
+			Name:            name,
+			Root:            root,
+			OrderBy:         e.built.OrderBy,
+			Limit:           e.built.Limit,
+			Display:         e.built.Display,
+			SamplePeriod:    e.built.SamplePeriod,
+			Parallelism:     e.opts.Parallelism,
+			Nodes:           e.opts.Nodes,
+			Failover:        e.opts.Failover,
+			CheckpointEvery: e.opts.CheckpointEvery,
+			StallTimeout:    e.opts.StallTimeout,
+			Placement:       e.dep.Placement(),
+			Shards:          shards,
+			Coord:           coord,
+		})
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&f); err != nil {
+		return fmt.Errorf("plan: snapshot encode: %w", err)
+	}
+	buf := make([]byte, 0, 16+body.Len())
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body.Bytes()))
+	buf = append(buf, body.Bytes()...)
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("plan: snapshot write: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("plan: snapshot commit: %w", err)
+	}
+	return nil
+}
+
+// Restore rehydrates the coordinator from its snapshot file: every
+// recorded deployment recompiles against the engine with its shards
+// pinned to the snapshotted placement and every operator restored from
+// the snapshotted state. A missing file is a fresh start (no error). Any
+// validation or compile failure leaves the coordinator empty but alive —
+// partially restored deployments are torn down, never half-served.
+//
+// Restore does not replay table loads or input pushed after the snapshot;
+// callers re-attach sources, which resume from their own cursors.
+func (c *Coordinator) Restore() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.deps) != 0 {
+		return fmt.Errorf("plan: Restore on a coordinator with %d live deployments", len(c.deps))
+	}
+	raw, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("plan: snapshot read: %w", err)
+	}
+	f, err := decodeSnapshot(raw)
+	if err != nil {
+		return err
+	}
+	restored := map[string]*coordEntry{}
+	fail := func(err error) error {
+		for _, e := range restored {
+			e.dep.Close()
+		}
+		return err
+	}
+	for _, sd := range f.Deployments {
+		root, err := decodeNode(sd.Root)
+		if err != nil {
+			return fail(fmt.Errorf("plan: snapshot %q: %w", sd.Name, err))
+		}
+		b := &Built{Root: root, OrderBy: sd.OrderBy, Limit: sd.Limit,
+			Display: sd.Display, SamplePeriod: sd.SamplePeriod}
+		opts := CompileOptions{
+			Parallelism:     sd.Parallelism,
+			Nodes:           sd.Nodes,
+			Failover:        sd.Failover,
+			CheckpointEvery: sd.CheckpointEvery,
+			StallTimeout:    sd.StallTimeout,
+			restoreShards:   sd.Shards,
+			restoreCoord:    sd.Coord,
+			restoreLoc:      sd.Placement,
+		}
+		dep, err := CompileStreamOpts(b, c.eng, opts)
+		if err != nil {
+			return fail(fmt.Errorf("plan: rehydrate %q: %w", sd.Name, err))
+		}
+		opts.restoreShards, opts.restoreCoord, opts.restoreLoc = nil, nil, nil
+		restored[sd.Name] = &coordEntry{dep: dep, built: b, opts: opts}
+	}
+	c.deps = restored
+	return nil
+}
+
+// decodeSnapshot validates a snapshot file image and decodes its body.
+func decodeSnapshot(raw []byte) (*snapFile, error) {
+	if len(raw) < 16 {
+		return nil, fmt.Errorf("plan: snapshot truncated: %d bytes, need at least 16", len(raw))
+	}
+	if string(raw[:8]) != snapMagic {
+		return nil, fmt.Errorf("plan: snapshot has bad magic %q", raw[:8])
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != snapVersion {
+		return nil, fmt.Errorf("plan: snapshot format version %d, this build reads %d", v, snapVersion)
+	}
+	body := raw[16:]
+	if sum := crc32.ChecksumIEEE(body); sum != binary.LittleEndian.Uint32(raw[12:16]) {
+		return nil, fmt.Errorf("plan: snapshot checksum mismatch (truncated or corrupted body)")
+	}
+	var f snapFile
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("plan: snapshot decode: %w", err)
+	}
+	return &f, nil
+}

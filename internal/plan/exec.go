@@ -53,6 +53,11 @@ type Deployment struct {
 	Failover bool
 
 	set *stream.ShardSet
+	// coordCks lists the coordinator-side stateful operators — serial
+	// pipeline (or two-phase spine) operators in compile order, then the
+	// materialized result — the deterministic sequence durable snapshots
+	// encode and a rehydrated deployment restores.
+	coordCks []stream.Checkpointer
 }
 
 // Flush blocks until every tuple pushed so far has been fully processed.
@@ -80,6 +85,68 @@ func (d *Deployment) Close() {
 	if d.set != nil {
 		d.set.Close()
 	}
+}
+
+// Rescale moves a live sharded deployment onto a new worker topology:
+// shard j lands on nodes[j%len(nodes)] (the CompileOptions.Nodes placement
+// rule), with "" keeping it in-process and an empty list pulling every
+// shard home. Moved shards carry their checkpointed operator state, so
+// results stay multiset-identical to serial across the move; untouched
+// shards never stop serving. This is both elastic scale-out/in (workers
+// joining or leaving) and heal-back (re-homing shards a past failover
+// stranded in-process or piled onto a survivor). Serial deployments have
+// no shards to move and report an error.
+func (d *Deployment) Rescale(nodes []string) error {
+	if d.set == nil {
+		return fmt.Errorf("plan: Rescale on a serial deployment (no shards to move)")
+	}
+	loc := make([]string, d.Shards)
+	for j := range loc {
+		if len(nodes) > 0 {
+			loc[j] = nodes[j%len(nodes)]
+		}
+	}
+	if err := d.set.Rescale(loc); err != nil {
+		return err
+	}
+	d.Nodes = nodes
+	return nil
+}
+
+// Placement reports where each shard currently runs ("" = in-process) —
+// the live topology after failovers and rescales, as opposed to the
+// compile-time Nodes request.
+func (d *Deployment) Placement() []string {
+	if d.set == nil {
+		return nil
+	}
+	return d.set.Placement()
+}
+
+// captureStates snapshots the deployment at one consistency point: the
+// per-shard encoded operator states (nil for a serial deployment) and the
+// coordinator-side state, taken under the shard set's quiescent barrier so
+// both halves agree. Serial deployments process synchronously, so their
+// capture is consistent as long as the caller is not pushing concurrently
+// — the same contract Snapshot has.
+func (d *Deployment) captureStates() (map[int][]byte, []byte, error) {
+	if d.set == nil {
+		coord, err := stream.EncodeCheckpoint(d.coordCks)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, coord, nil
+	}
+	var coord []byte
+	shards, err := d.set.CheckpointAll(func() error {
+		var serr error
+		coord, serr = stream.EncodeCheckpoint(d.coordCks)
+		return serr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return shards, coord, nil
 }
 
 // CompileOptions tunes CompileStreamOpts.
@@ -120,6 +187,19 @@ type CompileOptions struct {
 	StallTimeout time.Duration
 	// OnFailover, when set, observes completed failovers (tests, ops).
 	OnFailover func(stream.FailoverEvent)
+
+	// restoreShards and restoreCoord rehydrate a deployment from a durable
+	// coordinator snapshot (see Coordinator): per-shard operator states
+	// keyed by shard index, and the coordinator-side state. Unexported —
+	// only Coordinator.Restore compiles with them, and it derives both
+	// from a snapshot the same compile produced.
+	restoreShards map[int][]byte
+	restoreCoord  []byte
+	// restoreLoc pins the exact per-shard placement captured at snapshot
+	// time (after any failovers/rescales), overriding the Nodes round-robin
+	// rule, so a rehydrated deployment lands its shards where their state
+	// last lived.
+	restoreLoc []string
 }
 
 // CompileStream lowers a logical plan onto a stream engine serially; see
@@ -148,12 +228,19 @@ func CompileStreamOpts(b *Built, eng *stream.Engine, opts CompileOptions) (*Depl
 	sink := newDeploymentSink(b, eng, dep)
 	c := &compiler{
 		track: eng.TrackWindow,
+		ck:    func(k stream.Checkpointer) { dep.coordCks = append(dep.coordCks, k) },
 		scanHead: func(x *Scan, head stream.Operator) error {
 			return attachScan(x, head, eng, dep)
 		},
 	}
 	if err := c.compile(b.Root, sink); err != nil {
 		return nil, err
+	}
+	dep.coordCks = append(dep.coordCks, dep.Result)
+	if opts.restoreCoord != nil {
+		if err := stream.RestoreCheckpoint(dep.coordCks, opts.restoreCoord); err != nil {
+			return nil, err
+		}
 	}
 	return dep, nil
 }
@@ -239,6 +326,7 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 		sc := &compiler{
 			splitAgg: strat.Split,
 			track:    func(stream.Advancer) {}, // the spine is unary and windowless
+			ck:       func(k stream.Checkpointer) { dep.coordCks = append(dep.coordCks, k) },
 			scanHead: func(x *Scan, _ stream.Operator) error {
 				return fmt.Errorf("plan: scan %s on the serial spine of a two-phase plan", x.Input)
 			},
@@ -254,13 +342,19 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 		}
 	}
 
-	// Place shard j on nodes[j%len(nodes)]; "" keeps it in-process.
+	// Place shard j on nodes[j%len(nodes)]; "" keeps it in-process. A
+	// rehydrating compile instead pins the placement the snapshot captured.
 	loc := make([]string, p)
 	anyRemote := false
 	for j := range loc {
 		if len(nodes) > 0 {
 			loc[j] = nodes[j%len(nodes)]
 		}
+	}
+	if len(opts.restoreLoc) == p {
+		copy(loc, opts.restoreLoc)
+	}
+	for j := range loc {
 		anyRemote = anyRemote || loc[j] != ""
 	}
 	scans := Scans(parRoot)
@@ -277,26 +371,38 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 		}
 		return nil, err
 	}
-	var spec []byte
-	if anyRemote {
-		var err error
-		if spec, err = encodeReplica(parRoot, strat.Split); err != nil {
+	// Every sharded deployment encodes its replica spec and arms the shard
+	// set's redeploy machinery, even all-in-process ones: Rescale needs the
+	// spec and wiring to move shards onto workers that join later. With
+	// Failover the arming also carries replay logs and failure notification
+	// (checkpointed redeploy on worker loss); without it the elastic arming
+	// is planned-moves-only — worker loss stays fail-stop and the hot path
+	// pays nothing.
+	spec, err := encodeReplica(parRoot, strat.Split)
+	if err != nil {
+		return nil, err
+	}
+	fcfg := stream.FailoverConfig{
+		Spec:            spec,
+		Nodes:           nodes,
+		Sink:            merge,
+		LocalDeploy:     DeployReplica,
+		CheckpointEvery: opts.CheckpointEvery,
+		StallTimeout:    opts.StallTimeout,
+		OnFailover:      opts.OnFailover,
+	}
+	if opts.Failover {
+		// Arm before the connections register: SetRemote wires each one for
+		// replay logging and failure notification as it joins the set.
+		dep.Failover = anyRemote
+		set.EnableFailover(fcfg)
+	} else {
+		set.EnableElastic(fcfg)
+	}
+	dep.coordCks = append(dep.coordCks, dep.Result)
+	if opts.restoreCoord != nil {
+		if err := stream.RestoreCheckpoint(dep.coordCks, opts.restoreCoord); err != nil {
 			return nil, err
-		}
-		if opts.Failover {
-			// Arm checkpointed redeploy before the connections register:
-			// SetRemote wires each one for replay logging and failure
-			// notification as it joins the set.
-			dep.Failover = true
-			set.EnableFailover(stream.FailoverConfig{
-				Spec:            spec,
-				Nodes:           nodes,
-				Sink:            merge,
-				LocalDeploy:     DeployReplica,
-				CheckpointEvery: opts.CheckpointEvery,
-				StallTimeout:    opts.StallTimeout,
-				OnFailover:      opts.OnFailover,
-			})
 		}
 	}
 
@@ -306,9 +412,18 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 			if err != nil {
 				return fail(err)
 			}
+			// Track the replica's stateful operators in the same order
+			// DeployReplica uses on a worker — partial-aggregate cap first,
+			// then compile order — so a shard's checkpoint restores
+			// identically wherever it lands.
+			var cks []stream.Checkpointer
+			if pa, ok := out.(*stream.PartialAggregate); ok {
+				cks = append(cks, pa)
+			}
 			shard := j
 			c := &compiler{
 				track: func(a stream.Advancer) { set.Track(shard, a) },
+				ck:    func(k stream.Checkpointer) { cks = append(cks, k) },
 				scanHead: func(x *Scan, head stream.Operator) error {
 					heads[x][shard] = head
 					return nil
@@ -317,6 +432,12 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 			if err := c.compile(parRoot, out); err != nil {
 				return fail(err)
 			}
+			if st := opts.restoreShards[j]; st != nil {
+				if err := stream.RestoreCheckpoint(cks, st); err != nil {
+					return fail(err)
+				}
+			}
+			set.SetLocalCks(j, cks)
 			continue
 		}
 		conn := conns[loc[j]]
@@ -334,7 +455,8 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 		set.SetRemote(j, conn)
 		// The worker compiles the replica from the spec; its scan heads
 		// answer to the walk-order names both sides derive from the tree.
-		if err := conn.Deploy(spec, j, nil); err != nil {
+		// A rehydrating compile ships the shard's snapshotted state along.
+		if err := conn.Deploy(spec, j, opts.restoreShards[j]); err != nil {
 			return fail(err)
 		}
 		for i, sc := range scans {
@@ -491,6 +613,7 @@ func (c *compiler) compile(n Node, out stream.Operator) error {
 				return err
 			}
 			c.finalMerge = fm
+			c.ckAdd(fm)
 			return nil
 		}
 		a, err := stream.NewAggregate(out, x.In.Schema(), x.GroupBy, x.Specs, x.Having)

@@ -63,6 +63,11 @@ type Options struct {
 	// their last checkpoint onto a surviving worker (or in-process),
 	// keeping query results exact across the loss.
 	Failover bool
+	// SnapshotPath makes the coordinator durable: deployed queries are
+	// checkpointed to this file by SaveSnapshot and rehydrated by
+	// RestoreSnapshot after a coordinator restart. Empty keeps the
+	// coordinator in-memory only.
+	SnapshotPath string
 }
 
 // App is the running SmartCIS deployment.
@@ -145,6 +150,7 @@ func New(opts Options) (*App, error) {
 		Parallelism:    opts.Parallelism,
 		Nodes:          opts.Nodes,
 		Failover:       opts.Failover,
+		SnapshotPath:   opts.SnapshotPath,
 	})
 	if err := app.registerSources(opts); err != nil {
 		return nil, err
@@ -412,6 +418,21 @@ func (a *App) machineAtLocked(room string, desk int) (machines.Machine, bool) {
 	}
 	return machines.Machine{}, false
 }
+
+// Rescale live-migrates every deployed sharded query onto a new worker
+// topology: workers that joined take shards, leaving workers hand theirs
+// back, and failover-stranded shards heal back out. Future deployments
+// use the new topology too.
+func (a *App) Rescale(nodes []string) error { return a.RT.Rescale(nodes) }
+
+// SaveSnapshot checkpoints every standing query to Options.SnapshotPath
+// at one consistency point (see core.Runtime.SaveSnapshot).
+func (a *App) SaveSnapshot() error { return a.RT.SaveSnapshot() }
+
+// RestoreSnapshot rehydrates the standing queries recorded in
+// Options.SnapshotPath onto this (fresh) deployment's runtime. Sensor
+// fragments do not survive a restart; re-run those queries.
+func (a *App) RestoreSnapshot() ([]*core.Query, error) { return a.RT.RestoreSnapshot() }
 
 // Close shuts down PDU servers and periodic work.
 func (a *App) Close() {

@@ -42,6 +42,8 @@ const (
 	ckDistinct
 	ckAggregate
 	ckPartialAgg
+	ckFinalMerge
+	ckMaterialize
 )
 
 // OpState is the serializable snapshot of one stateful operator. Kind
@@ -52,6 +54,7 @@ type OpState struct {
 	Join     *JoinState
 	Distinct *DistinctState
 	Groups   *GroupsState
+	Rows     *RowsState
 }
 
 // WindowState snapshots a Window: the live tuples in arrival order and the
@@ -97,6 +100,13 @@ type AggState struct {
 	N    int64
 	Sum  float64
 	Vals map[float64]int64
+}
+
+// RowsState snapshots a materialized result multiset: one representative
+// tuple and its multiplicity per distinct row.
+type RowsState struct {
+	Tuples []data.Tuple
+	Counts []int64
 }
 
 func ckKindErr(want uint8, got OpState) error {
@@ -258,6 +268,59 @@ func (a *PartialAggregate) RestoreState(s OpState) error {
 		return ckKindErr(ckPartialAgg, s)
 	}
 	return a.table.restore(s.Groups)
+}
+
+// CheckpointState implements Checkpointer. FinalMerge lives on the
+// coordinator's serial spine; its state rides in coordinator snapshots,
+// not worker checkpoints.
+func (f *FinalMerge) CheckpointState() OpState {
+	return OpState{Kind: ckFinalMerge, Groups: f.table.checkpoint()}
+}
+
+// RestoreState implements Checkpointer.
+func (f *FinalMerge) RestoreState(s OpState) error {
+	if s.Kind != ckFinalMerge || s.Groups == nil {
+		return ckKindErr(ckFinalMerge, s)
+	}
+	return f.table.restore(s.Groups)
+}
+
+// CheckpointState implements Checkpointer: the result multiset with
+// per-row multiplicities, taken under the mutex (Materialize is the one
+// shared sink, so unlike the single-writer operators it locks itself).
+func (m *Materialize) CheckpointState() OpState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := &RowsState{Tuples: make([]data.Tuple, 0, m.n), Counts: make([]int64, 0, m.n)}
+	for _, bucket := range m.rows {
+		for _, r := range bucket {
+			st.Tuples = append(st.Tuples, r.t.Clone())
+			st.Counts = append(st.Counts, int64(r.count))
+		}
+	}
+	return OpState{Kind: ckMaterialize, Rows: st}
+}
+
+// RestoreState implements Checkpointer.
+func (m *Materialize) RestoreState(s OpState) error {
+	if s.Kind != ckMaterialize || s.Rows == nil {
+		return ckKindErr(ckMaterialize, s)
+	}
+	if len(s.Rows.Tuples) != len(s.Rows.Counts) {
+		return fmt.Errorf("stream: materialize checkpoint: %d tuples, %d counts",
+			len(s.Rows.Tuples), len(s.Rows.Counts))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rows = map[uint64][]*matRow{}
+	m.n = 0
+	for i, t := range s.Rows.Tuples {
+		key := m.hasher.Hash(t) & testHashMask
+		m.rows[key] = append(m.rows[key], &matRow{t: t, count: int(s.Rows.Counts[i])})
+		m.n++
+	}
+	m.version++
+	return nil
 }
 
 // EncodeCheckpoint snapshots a replica's stateful operators (in their

@@ -720,6 +720,127 @@ func TestFailoverAbandonWithoutCandidates(t *testing.T) {
 	}
 }
 
+// TestFailoverAbandonAllCandidatesFail drives the abandonment branch the
+// hard way: candidates exist but every one of them fails — the only other
+// configured worker address refuses connections, and the in-process last
+// resort errors out of its builder. The failover must walk the full
+// candidate ladder, report abandonment with the failed worker's shards,
+// drop the replay log, and leave the deployment fail-stopped: later input
+// to the abandoned shards drops without accumulating anywhere, and
+// Advance/Flush/Close stay non-blocking.
+func TestFailoverAbandonAllCandidatesFail(t *testing.T) {
+	w, err := NewShardWorker("127.0.0.1:0", foDeploy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	// A worker address that is configured but refuses connections: bind a
+	// listener to reserve a port, then close it before the test begins.
+	dead, err := NewShardWorker("127.0.0.1:0", foDeploy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	dead.Close()
+
+	mat := NewMaterialize(foOutSchema(t))
+	merge := NewMerge(mat)
+	set := NewShardSet(2)
+	var events []FailoverEvent
+	var mu sync.Mutex
+	localTried := 0
+	set.EnableFailover(FailoverConfig{
+		Nodes: []string{w.Addr(), deadAddr},
+		Sink:  merge,
+		LocalDeploy: func(spec []byte, shard int, state []byte, send ResultSender) (map[string]Operator, []Advancer, []Checkpointer, error) {
+			mu.Lock()
+			localTried++
+			mu.Unlock()
+			return nil, nil, nil, fmt.Errorf("no replica capacity on the coordinator")
+		},
+		CheckpointEvery: 1,
+		StallTimeout:    500 * time.Millisecond,
+		OnFailover: func(ev FailoverEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	c, err := DialShard(w.Addr(), merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetStallTimeout(500 * time.Millisecond)
+	c.enableFailover(1, 0)
+	heads := make([]Operator, 2)
+	for j := 0; j < 2; j++ {
+		set.SetRemote(j, c)
+		if err := c.Deploy(nil, j, nil); err != nil {
+			t.Fatal(err)
+		}
+		heads[j] = c.Head(tempSchema(), j, "s0")
+	}
+	sh, err := NewSharder(set, heads, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.SetName("s0")
+	set.Start()
+	t.Cleanup(set.Close)
+
+	sh.Push(temp(1, "L1", 20))
+	sh.Push(temp(2, "L2", 21))
+	set.Flush()
+	if mat.Len() == 0 {
+		t.Fatal("no rows before the kill")
+	}
+
+	w.Close()
+	sh.Push(temp(3, "L3", 22))
+	set.Flush() // detects the dead link, runs the failover to abandonment
+
+	mu.Lock()
+	evts := append([]FailoverEvent(nil), events...)
+	tried := localTried
+	mu.Unlock()
+	if len(evts) != 1 || evts[0].Err == nil || evts[0].To != "" {
+		t.Fatalf("events = %+v, want one abandonment", evts)
+	}
+	if len(evts[0].Shards) != 2 {
+		t.Fatalf("abandonment reported shards %v, want both", evts[0].Shards)
+	}
+	if tried == 0 {
+		t.Fatal("failover never reached the in-process last resort")
+	}
+
+	// Replay log dropped: nothing retained, and fail-stopped traffic must
+	// not start accumulating again.
+	if undo := c.flog.takeOut(); len(undo) != 0 {
+		t.Fatalf("abandoned connection retained %d undo batches", len(undo))
+	}
+	rows := mat.Len()
+	for i := 0; i < 4; i++ {
+		sh.Push(temp(int64(10+i), fmt.Sprintf("L%d", i), 25))
+	}
+	set.Advance(vtime.Time(time.Hour))
+	set.Flush()
+	c.flog.mu.Lock()
+	n := len(c.flog.in)
+	c.flog.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("fail-stopped deployment accumulated %d replay entries", n)
+	}
+	if got := mat.Len(); got != rows {
+		t.Fatalf("fail-stopped deployment emitted rows: %d -> %d", rows, got)
+	}
+	mu.Lock()
+	extra := len(events)
+	mu.Unlock()
+	if extra != 1 {
+		t.Fatalf("fail-stop must not re-run failovers, got %d events", extra)
+	}
+}
+
 // TestFailoverTargetRejectsDeploy: the failover's first candidate accepts
 // the connection but rejects the redeploy; the failover must discard it
 // and land in-process instead, still exactly.

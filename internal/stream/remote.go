@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,10 +112,13 @@ func NewShardWorker(addr string, deploy DeployFunc) (*ShardWorker, error) {
 }
 
 // workerStream is the worker-side state of one deployment's stream: its
-// replica registry and the credit acks it owes the coordinator.
+// replica registry and the credit acks it owes the coordinator. heads,
+// advs and cks are all keyed (or prefixed) by shard, so one shard's
+// replica can leave the stream (frameUndeploy, a rescale) without
+// disturbing its siblings.
 type workerStream struct {
 	heads map[string]Operator
-	advs  []Advancer
+	advs  map[int][]Advancer
 	cks   map[int][]Checkpointer
 	send  ResultSender
 	pend  int // processed-but-unacked credit frames
@@ -156,7 +160,7 @@ func (w *ShardWorker) serveConn(conn net.Conn) {
 	getStream := func(id uint64) *workerStream {
 		ws := streams[id]
 		if ws == nil {
-			ws = &workerStream{heads: map[string]Operator{}, cks: map[int][]Checkpointer{}}
+			ws = &workerStream{heads: map[string]Operator{}, advs: map[int][]Advancer{}, cks: map[int][]Checkpointer{}}
 			ws.send = func(ts []data.Tuple) error {
 				if len(ts) == 0 {
 					return nil
@@ -209,7 +213,7 @@ func (w *ShardWorker) serveConn(conn net.Conn) {
 				for name, op := range h {
 					ws.heads[headKey(db.Shard, name)] = op
 				}
-				ws.advs = append(ws.advs, a...)
+				ws.advs[db.Shard] = a
 				ws.cks[db.Shard] = ck
 			}
 			appendAckFrame(wr, id, db.Seq, 0, errs)
@@ -237,8 +241,10 @@ func (w *ShardWorker) serveConn(conn net.Conn) {
 				return
 			}
 			ws := getStream(id)
-			for _, a := range ws.advs {
-				a.Advance(now)
+			for _, advs := range ws.advs {
+				for _, a := range advs {
+					a.Advance(now)
+				}
 			}
 			ws.pend++
 			pendTotal++
@@ -271,6 +277,28 @@ func (w *ShardWorker) serveConn(conn net.Conn) {
 			wr.buf = appendUvarint(wr.buf, uint64(len(payload)))
 			wr.buf = append(wr.buf, payload...)
 			wr.end(m)
+			if flushAcks() != nil {
+				return
+			}
+		case frameUndeploy:
+			// One shard's replica leaves the stream (a rescale moved it);
+			// its siblings keep serving under the same credits.
+			seq := br.uvarint()
+			shard := int(br.uvarint())
+			if br.fail {
+				return
+			}
+			if ws := streams[id]; ws != nil {
+				prefix := fmt.Sprintf("%d/", shard)
+				for k := range ws.heads {
+					if strings.HasPrefix(k, prefix) {
+						delete(ws.heads, k)
+					}
+				}
+				delete(ws.advs, shard)
+				delete(ws.cks, shard)
+			}
+			appendAckFrame(wr, id, seq, 0, "")
 			if flushAcks() != nil {
 				return
 			}
@@ -416,6 +444,23 @@ func (l *connLog) statesCopy() map[int][]byte {
 		out[j] = s
 	}
 	return out
+}
+
+// dropShard forgets one shard's committed checkpoint: the shard moved to
+// another home (rescale), so a later failover of this connection must not
+// redeploy it here.
+func (l *connLog) dropShard(shard int) {
+	l.mu.Lock()
+	delete(l.states, shard)
+	l.mu.Unlock()
+}
+
+// pendingIn reports how many replay-log entries are not yet subsumed by a
+// committed checkpoint; a quiesced stream that just checkpointed reads 0.
+func (l *connLog) pendingIn() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.in)
 }
 
 func (l *connLog) setState(shard int, state []byte) {
@@ -884,15 +929,39 @@ func (c *ShardConn) checkpoint() {
 		return
 	}
 	defer c.ckInflight.Store(false)
+	_ = c.checkpointBarrier()
+}
+
+// checkpointSync runs one checkpoint barrier, waiting out any in-flight
+// asynchronous checkpoint first — the rescale path needs a committed,
+// up-to-the-quiesce checkpoint, not a best-effort one.
+func (c *ShardConn) checkpointSync() error {
+	if c.flog == nil {
+		return fmt.Errorf("stream: shard link %s: checkpoint without a replay log", c.addr)
+	}
+	deadline := time.Now().Add(c.stall)
+	for !c.ckInflight.CompareAndSwap(false, true) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("stream: shard link %s: checkpoint already in flight past the stall bound", c.addr)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	defer c.ckInflight.Store(false)
+	return c.checkpointBarrier()
+}
+
+// checkpointBarrier is the locked body of checkpoint/checkpointSync;
+// caller holds the ckInflight flag.
+func (c *ShardConn) checkpointBarrier() error {
 	ch, seq, err := c.registerWait()
 	if err != nil {
-		return
+		return err
 	}
 	pc := c.pc
 	pc.wmu.Lock()
-	if c.Err() != nil {
+	if err := c.Err(); err != nil {
 		pc.wmu.Unlock()
-		return
+		return err
 	}
 	c.flog.setMark()
 	m := pc.w.begin(frameCheckpoint)
@@ -902,15 +971,50 @@ func (c *ShardConn) checkpoint() {
 	err = pc.flushLocked(true, c.stall)
 	pc.wmu.Unlock()
 	if err != nil {
-		return
+		return err
 	}
-	_ = c.awaitAck(ch, "checkpoint unanswered")
+	return c.awaitAck(ch, "checkpoint unanswered")
 }
 
 // Checkpoint runs one synchronous checkpoint barrier (tests and shutdown
 // paths; steady-state checkpoints self-schedule off the tick cadence).
 func (c *ShardConn) Checkpoint() {
 	c.checkpoint()
+}
+
+// Undeploy tears one shard's replica down on the worker while the stream
+// and its other shards keep serving, and forgets the shard's committed
+// checkpoint — the rescale path's counterpart to Deploy.
+func (c *ShardConn) Undeploy(shard int) error {
+	ch, seq, err := c.registerWait()
+	if err != nil {
+		return err
+	}
+	werr := func() error {
+		if err := c.Err(); err != nil {
+			return err
+		}
+		pc := c.pc
+		pc.wmu.Lock()
+		defer pc.wmu.Unlock()
+		if err := c.Err(); err != nil {
+			return err
+		}
+		m := pc.w.begin(frameUndeploy)
+		pc.w.buf = appendUvarint(pc.w.buf, c.id)
+		pc.w.buf = appendUvarint(pc.w.buf, seq)
+		pc.w.buf = appendUvarint(pc.w.buf, uint64(shard))
+		pc.w.end(m)
+		return pc.flushLocked(true, c.stall)
+	}()
+	if werr != nil {
+		return werr
+	}
+	err = c.awaitAck(ch, "undeploy unanswered")
+	if err == nil && c.flog != nil {
+		c.flog.dropShard(shard)
+	}
+	return err
 }
 
 // SendBatch ships one data batch to the named replica head of a shard.

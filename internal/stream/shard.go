@@ -101,10 +101,15 @@ type FailoverEvent struct {
 	Err error
 }
 
-// failoverRuntime is the ShardSet's failover bookkeeping.
+// failoverRuntime is the ShardSet's failover (and rescale) bookkeeping.
 type failoverRuntime struct {
 	cfg FailoverConfig
-	// fmu serializes failovers: a double failure queues behind the first.
+	// logs arms the per-connection replay/undo logs and failure
+	// notification — full failover. Without it (EnableElastic) the set can
+	// still Rescale and checkpoint, but worker loss stays fail-stop.
+	logs bool
+	// fmu serializes failovers and rescales: a double failure (or a rescale
+	// racing a failure) queues behind the first.
 	fmu sync.Mutex
 	// pending counts scheduled-but-unfinished failovers; Flush waits for it
 	// to reach zero so its barrier covers replayed work.
@@ -209,6 +214,15 @@ type ShardSet struct {
 	// affected deployment's failover runs independently.
 	conns  []*ShardConn
 	uconns []*ShardConn
+	// running[j] marks queue j's worker goroutine live: a shard that moved
+	// remote leaves its (idle) worker parked, and a later move back must
+	// not start a second one.
+	running []bool
+	// lcks[j] lists the stateful operators of an in-process replica in
+	// DeployReplica's deterministic order (two-phase cap first, then
+	// compile order) so rescales and coordinator snapshots can checkpoint
+	// local shards exactly like remote ones.
+	lcks [][]Checkpointer
 	// sharders lists the set's exchanges; failover rewires their per-shard
 	// heads when a replica moves.
 	sharders []*Sharder
@@ -226,11 +240,13 @@ func NewShardSet(p int) *ShardSet {
 		p = 1
 	}
 	s := &ShardSet{
-		p:      p,
-		queues: make([]chan shardMsg, p),
-		free:   make(chan []data.Tuple, p*shardQueueCap),
-		advs:   make([][]Advancer, p),
-		conns:  make([]*ShardConn, p),
+		p:       p,
+		queues:  make([]chan shardMsg, p),
+		free:    make(chan []data.Tuple, p*shardQueueCap),
+		advs:    make([][]Advancer, p),
+		conns:   make([]*ShardConn, p),
+		running: make([]bool, p),
+		lcks:    make([][]Checkpointer, p),
 	}
 	for j := range s.queues {
 		s.queues[j] = make(chan shardMsg, shardQueueCap)
@@ -254,8 +270,19 @@ func (s *ShardSet) EnableFailover(cfg FailoverConfig) {
 	if cfg.CheckpointMaxLog <= 0 {
 		cfg.CheckpointMaxLog = 256
 	}
-	s.fo = &failoverRuntime{cfg: cfg}
+	s.fo = &failoverRuntime{cfg: cfg, logs: true}
 	s.fo.cond = sync.NewCond(&s.fo.pmu)
+}
+
+// EnableElastic arms the set for planned topology change (Rescale,
+// CheckpointAll) without the per-frame replay logging and failure
+// notification full failover carries: the spec, sink, and local deployer
+// let a rescale checkpoint shards and redeploy them elsewhere, but worker
+// loss stays fail-stop and the hot path is untouched — armed-but-idle
+// elasticity costs nothing. EnableFailover supersedes it.
+func (s *ShardSet) EnableElastic(cfg FailoverConfig) {
+	s.EnableFailover(cfg)
+	s.fo.logs = false
 }
 
 // SetRemote marks shard j as living behind a ShardWorker connection (its
@@ -269,7 +296,7 @@ func (s *ShardSet) SetRemote(j int, c *ShardConn) {
 		panic("stream: ShardSet.SetRemote after Start")
 	}
 	s.conns[j] = c
-	if s.fo != nil && c.flog == nil {
+	if s.fo != nil && s.fo.logs && c.flog == nil {
 		c.enableFailover(s.fo.cfg.CheckpointEvery, s.fo.cfg.CheckpointMaxLog)
 	}
 	for _, u := range s.uconns {
@@ -293,6 +320,17 @@ func (s *ShardSet) Track(shard int, a Advancer) {
 	s.advs[shard] = append(s.advs[shard], a)
 }
 
+// SetLocalCks records an in-process replica's stateful operators in
+// DeployReplica's deterministic order (two-phase cap first, then compile
+// order), so rescales and coordinator snapshots can checkpoint the shard.
+// Must be called before Start.
+func (s *ShardSet) SetLocalCks(shard int, cks []Checkpointer) {
+	if s.started {
+		panic("stream: ShardSet.SetLocalCks after Start")
+	}
+	s.lcks[shard] = cks
+}
+
 // Start launches the local shard workers (remote shards are driven by
 // their ShardWorker connection). Call after all Track/SetRemote
 // registrations and before any Sharder of the set receives data.
@@ -305,10 +343,11 @@ func (s *ShardSet) Start() {
 		if s.conns[j] != nil {
 			continue
 		}
+		s.running[j] = true
 		s.wg.Add(1)
 		go s.worker(j)
 	}
-	if s.fo != nil {
+	if s.fo != nil && s.fo.logs {
 		// Arm failure notification only now: a worker lost during compile
 		// fails the compile; one lost from here on fails over.
 		for _, c := range s.uconns {
@@ -443,7 +482,10 @@ func (s *ShardSet) Advance(now vtime.Time) {
 func (s *ShardSet) Flush() {
 	for {
 		ok := s.flushOnce()
-		if s.fo == nil {
+		if s.fo == nil || !s.fo.logs {
+			// Without failure notification (elastic-only arming) no failover
+			// can be pending, and a failed barrier is fail-stop — rerunning
+			// it would spin on the dead link forever.
 			return
 		}
 		waited := s.fo.waitIdle()
@@ -506,7 +548,10 @@ func (s *ShardSet) Close() {
 	}
 	s.closed = true
 	for j := 0; j < s.p; j++ {
-		if s.conns[j] != nil {
+		// Every shard with a live worker goroutine — including one whose
+		// shard has since rescaled onto a remote home — gets its queue
+		// closed, or wg.Wait below would wait forever.
+		if !s.running[j] {
 			continue
 		}
 		close(s.queues[j]) // workers drain buffered messages, then exit
@@ -544,6 +589,7 @@ type failoverTarget struct {
 	addr  string
 	heads map[int]map[string]Operator // local replica heads per shard
 	advs  map[int][]Advancer          // local replica windows per shard
+	cks   map[int][]Checkpointer      // local replica stateful operators per shard
 }
 
 // deliver replays logged entries into the target, in log (= wire) order.
@@ -681,12 +727,18 @@ func (s *ShardSet) failover(failed *ShardConn) *FailoverEvent {
 		for _, j := range moved {
 			if target.conn != nil {
 				s.conns[j] = target.conn
+				s.advs[j] = nil
+				s.lcks[j] = nil
 				continue
 			}
 			s.conns[j] = nil
 			s.advs[j] = target.advs[j]
-			s.wg.Add(1)
-			go s.worker(j)
+			s.lcks[j] = target.cks[j]
+			if !s.running[j] {
+				s.running[j] = true
+				s.wg.Add(1)
+				go s.worker(j)
+			}
 		}
 		for _, sh := range sharders {
 			for _, j := range moved {
@@ -778,18 +830,20 @@ func (s *ShardSet) restoreOn(t *failoverTarget, moved []int, states map[int][]by
 	}
 	t.heads = map[int]map[string]Operator{}
 	t.advs = map[int][]Advancer{}
+	t.cks = map[int][]Checkpointer{}
 	sink := cfg.Sink
 	send := ResultSender(func(ts []data.Tuple) error {
 		PushBatch(sink, ts)
 		return nil
 	})
 	for _, j := range moved {
-		heads, advs, _, err := cfg.LocalDeploy(cfg.Spec, j, states[j], send)
+		heads, advs, cks, err := cfg.LocalDeploy(cfg.Spec, j, states[j], send)
 		if err != nil {
 			return false
 		}
 		t.heads[j] = heads
 		t.advs[j] = advs
+		t.cks[j] = cks
 	}
 	return true
 }

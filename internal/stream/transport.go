@@ -69,6 +69,11 @@ const (
 	// result the pre-checkpoint input produced, so the coordinator can
 	// truncate its replay and undo logs exactly at the decode.
 	frameCkptState
+	// frameUndeploy is an acked barrier that tears down one shard's replica
+	// on the stream while the stream (and its other shards) keeps serving —
+	// a rescale moved that shard to another home. frameClose remains the
+	// whole-stream teardown.
+	frameUndeploy
 )
 
 // InProc is a Transport bound directly to a local engine.
