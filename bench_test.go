@@ -1,4 +1,4 @@
-// Benchmarks: one per experiment E1–E10 (see DESIGN.md §3 and
+// Benchmarks: one per experiment E1–E11 (see DESIGN.md §3 and
 // EXPERIMENTS.md). Each benchmark exercises the experiment's inner
 // operation; cmd/benchharness regenerates the full parameter-sweep tables.
 package aspen_test
@@ -376,6 +376,32 @@ func BenchmarkE7RemoteShardedFailover(b *testing.B) {
 			}
 			e.Dep.Flush()
 		})
+	}
+}
+
+// BenchmarkQueryDensity is E11: per-tuple cost of Q standing queries —
+// selective windowed filters with heavily overlapping plans — over one
+// source, deployed privately (Q independent window+filter pipelines) vs
+// through one shared-prefix registry (one window, four predicate layers,
+// fan-out only at divergence points). ns/op is per tuple across ALL Q
+// queries: private grows linearly in Q, shared stays near-flat.
+func BenchmarkQueryDensity(b *testing.B) {
+	for _, q := range []int{1, 16, 256} {
+		for _, shared := range []bool{false, true} {
+			mode := "private"
+			if shared {
+				mode = "shared"
+			}
+			b.Run(fmt.Sprintf("Q=%d/%s", q, mode), func(b *testing.B) {
+				qd := experiments.NewQueryDensity(q, shared)
+				defer qd.Close()
+				b.ResetTimer()
+				ts := vtime.Time(0)
+				for i := 0; i < b.N; i++ {
+					ts = qd.Feed(i, ts)
+				}
+			})
+		}
 	}
 }
 

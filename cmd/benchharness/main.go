@@ -1,9 +1,9 @@
-// Benchharness regenerates every experiment table (E1–E10) defined in
+// Benchharness regenerates every experiment table (E1–E11) defined in
 // DESIGN.md and recorded in EXPERIMENTS.md.
 //
 //	go run ./cmd/benchharness                       # all experiments
 //	go run ./cmd/benchharness E2 E4                 # a subset
-//	go run ./cmd/benchharness -json BENCH_PR7.json  # machine-readable dump
+//	go run ./cmd/benchharness -json BENCH_PR8.json  # machine-readable dump
 //
 // With -json, the selected experiment tables are also written to the given
 // file together with the recorded seed baselines of the hot-path
@@ -110,6 +110,18 @@ var pr6Baselines = map[string]string{
 	"E7RemoteShardedFailover/W=1":   "621 ns/op, 0 allocs/op",
 }
 
+// pr7Baselines records the post-PR-7 query-density numbers (single-core CI
+// container, Q private windowed-filter pipelines per query — the only
+// deployment mode before PR 8's shared-subplan layer). ns/op is per tuple
+// across all Q queries, so the linear growth in Q is the cost PR 8's
+// prefix sharing has to flatten; the matching shared rows ride in the E11
+// table and in BenchmarkQueryDensity.
+var pr7Baselines = map[string]string{
+	"QueryDensity/Q=1/private":   "253 ns/op",
+	"QueryDensity/Q=16/private":  "3988 ns/op",
+	"QueryDensity/Q=256/private": "84824 ns/op",
+}
+
 type report struct {
 	// SeedBaseline holds the pre-optimization microbenchmark numbers for
 	// the benchmarks the PR-1 acceptance criteria track.
@@ -131,7 +143,12 @@ type report struct {
 	PR5Baseline map[string]string `json:"pr5_baseline"`
 	// PR6Baseline holds the post-PR-6 numbers that PR 7's elastic
 	// membership (always-armed rescale support) is compared against.
-	PR6Baseline map[string]string   `json:"pr6_baseline"`
+	PR6Baseline map[string]string `json:"pr6_baseline"`
+	// PR7Baseline holds the post-PR-7 per-query numbers — Q private
+	// pipelines, before the shared-subplan layer existed — that PR 8's
+	// query-density criterion (per-query cost sublinear in Q) is
+	// measured against.
+	PR7Baseline map[string]string   `json:"pr7_baseline"`
 	Experiments []experiments.Table `json:"experiments"`
 }
 
@@ -150,8 +167,9 @@ func main() {
 		"E8":  experiments.E8CostUnification,
 		"E9":  experiments.E9EndToEnd,
 		"E10": experiments.E10Alarms,
+		"E11": experiments.E11QueryDensity,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 
 	want := flag.Args()
 	if len(want) == 0 {
@@ -160,7 +178,7 @@ func main() {
 	rep := report{SeedBaseline: seedBaselines, PR1Baseline: pr1Baselines,
 		PR2Baseline: pr2Baselines, PR3Baseline: pr3Baselines,
 		PR4Baseline: pr4Baselines, PR5Baseline: pr5Baselines,
-		PR6Baseline: pr6Baselines}
+		PR6Baseline: pr6Baselines, PR7Baseline: pr7Baselines}
 	for _, id := range want {
 		fn, ok := all[strings.ToUpper(id)]
 		if !ok {

@@ -64,6 +64,16 @@ type Config struct {
 	// deploy barriers, in-flight credits); a worker silent past it is a
 	// detected failure. 0 keeps the stream-layer default (30s).
 	FailoverStallTimeout time.Duration
+	// SharedPrefixes enables multi-query plan sharing: serial SELECT
+	// deployments whose plans start with the same scan+window+selection
+	// prefix (canonicalized positionally, so aliases don't matter) run one
+	// physical operator chain, fanning out only where the plans diverge.
+	// Per-tuple cost becomes sublinear in the number of standing queries
+	// over one source; the last Stop of the last query sharing a prefix
+	// tears its chain down. A query attaching to an already-populated
+	// shared window warm-starts from the window's current contents. Only
+	// serial deployments share (Parallelism < 2 or unpartitionable plans).
+	SharedPrefixes bool
 	// SnapshotPath makes the coordinator durable: deployed SELECT queries
 	// are tracked by a plan.Coordinator that SaveSnapshot persists to this
 	// file (atomic, checksummed) and RestoreSnapshot rehydrates after a
@@ -87,6 +97,7 @@ type Runtime struct {
 	failover    bool
 	ckEvery     int
 	stall       time.Duration
+	share       *plan.Sharing
 	tickCancel  func()
 
 	// coord tracks SELECT deployments for durable snapshots (SnapshotPath);
@@ -121,8 +132,14 @@ func New(cfg Config) *Runtime {
 		ckEvery:     cfg.CheckpointEvery,
 		stall:       cfg.FailoverStallTimeout,
 	}
+	if cfg.SharedPrefixes {
+		rt.share = plan.NewSharing(rt.Stream)
+	}
 	if cfg.SnapshotPath != "" {
 		rt.coord = plan.NewCoordinator(rt.Stream, cfg.SnapshotPath)
+		if rt.share != nil {
+			rt.coord.EnableSharing(rt.share)
+		}
 	}
 	rt.fed = &federation.Federator{Cat: rt.Cat}
 	if cfg.SensorEngine != nil {
@@ -188,10 +205,13 @@ func (q *Query) Snapshot() ([]data.Tuple, error) {
 	return q.Deployment.Snapshot()
 }
 
-// Stop cancels the query's periodic sensor work and, for sharded
-// deployments, stops the shard workers — the materialized result keeps
-// its last state but no longer updates. (Serial stream operator state is
-// abandoned; inputs keep fanning out to other queries.)
+// Stop cancels the query's periodic sensor work and quiesces its
+// deployment: shard workers (if any) stop, every engine-input
+// subscription and clock-tick registration the deployment made is
+// detached, and any shared prefix chains this was the last query on are
+// torn down. The materialized result keeps its last state but no longer
+// updates, and later input into the query's sources no longer reaches
+// its operators — other queries on the same inputs are unaffected.
 func (q *Query) Stop() {
 	for _, r := range q.runners {
 		r.Stop()
@@ -256,7 +276,8 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 		return nil, err
 	}
 	opts := plan.CompileOptions{Parallelism: rt.parallelism, Nodes: rt.nodes,
-		Failover: rt.failover, CheckpointEvery: rt.ckEvery, StallTimeout: rt.stall}
+		Failover: rt.failover, CheckpointEvery: rt.ckEvery, StallTimeout: rt.stall,
+		Sharing: rt.share}
 	var dep *plan.Deployment
 	var name string
 	if rt.coord != nil {
@@ -332,6 +353,10 @@ func (rt *Runtime) loadTables(dep *plan.Deployment) {
 
 // Coordinator exposes the durable coordinator (nil without SnapshotPath).
 func (rt *Runtime) Coordinator() *plan.Coordinator { return rt.coord }
+
+// Sharing exposes the multi-query sharing registry (nil without
+// Config.SharedPrefixes) — tests and ops inspect live chain counts.
+func (rt *Runtime) Sharing() *plan.Sharing { return rt.share }
 
 // SaveSnapshot checkpoints every coordinator-tracked query at a quiescent
 // barrier and atomically replaces the snapshot file (Config.SnapshotPath).

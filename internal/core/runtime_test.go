@@ -294,7 +294,7 @@ func TestQueryOutputToDisplay(t *testing.T) {
 	rt, sched := newTestRuntime(t)
 	rt.MustRun(`SELECT t.room, t.value FROM Temperature t WHERE t.value > 26 OUTPUT TO lobbyboard`)
 	sched.RunUntil(2 * vtime.Second)
-	disp := rt.Stream.Display("lobbyboard", nil)
+	disp := rt.Stream.MustDisplay("lobbyboard", nil)
 	if disp.Len() == 0 {
 		t.Fatal("display never updated")
 	}
@@ -310,4 +310,82 @@ func contains(xs []string, want string) bool {
 		}
 	}
 	return false
+}
+
+// TestSharedPrefixesRuntime wires Config.SharedPrefixes end to end: two
+// SELECTs over the same windowed source run one physical chain (one input
+// subscriber, one tracked window), see identical filtered data, and
+// Query.Stop detaches everything — the last stop tears the chain down.
+func TestSharedPrefixesRuntime(t *testing.T) {
+	sched := vtime.NewScheduler()
+	rt := New(Config{Scheduler: sched, SharedPrefixes: true})
+	defer rt.Close()
+	in, err := rt.RegisterStream("Pulse", pulseSchema(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := rt.MustRun(`SELECT p.v FROM Pulse p [RANGE 5 SECONDS] WHERE p.v >= 1`)
+	q2 := rt.MustRun(`SELECT x.v FROM Pulse x [RANGE 5 SECONDS] WHERE x.v >= 1`)
+	if got := in.Subscribers(); got != 1 {
+		t.Fatalf("subscribers = %d, want 1 shared chain for both queries", got)
+	}
+	if got := rt.Sharing().Chains(); got == 0 {
+		t.Fatal("no shared chains despite SharedPrefixes")
+	}
+	in.Push(data.NewTuple(sched.Now().Add(1e9), data.Int(0)))
+	in.Push(data.NewTuple(sched.Now().Add(1e9), data.Int(2)))
+	r1, _ := q1.Snapshot()
+	r2, _ := q2.Snapshot()
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Fatalf("rows = %v / %v, want 1 filtered row each", r1, r2)
+	}
+	q1.Stop()
+	in.Push(data.NewTuple(sched.Now().Add(2e9), data.Int(3)))
+	if r2, _ = q2.Snapshot(); len(r2) != 2 {
+		t.Fatalf("survivor rows = %v, want 2", r2)
+	}
+	if r1, _ = q1.Snapshot(); len(r1) != 1 {
+		t.Fatalf("stopped query updated after Stop: %v", r1)
+	}
+	q2.Stop()
+	if got := rt.Sharing().Chains(); got != 0 {
+		t.Fatalf("chains = %d after last stop, want 0", got)
+	}
+	if got := in.Subscribers(); got != 0 {
+		t.Fatalf("subscribers = %d after last stop, want 0", got)
+	}
+}
+
+// TestQueryChurnRuntime loops deploy/stop at the runtime layer (the path
+// the paper's ad-hoc visitor queries exercise): registries must return to
+// baseline every iteration, with sharing on and off.
+func TestQueryChurnRuntime(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		sched := vtime.NewScheduler()
+		rt := New(Config{Scheduler: sched, SharedPrefixes: shared})
+		in, err := rt.RegisterStream("Pulse", pulseSchema(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			qa := rt.MustRun(`SELECT p.v FROM Pulse p [RANGE 2 SECONDS]`)
+			qb := rt.MustRun(`SELECT p.v FROM Pulse p [RANGE 2 SECONDS] WHERE p.v >= 1`)
+			in.Push(data.NewTuple(sched.Now().Add(1e9), data.Int(int64(i))))
+			qa.Stop()
+			qa.Stop() // idempotent
+			qb.Stop()
+			if n := in.Subscribers(); n != 0 {
+				t.Fatalf("shared=%v iter %d: %d subscribers after Stop", shared, i, n)
+			}
+			if n := rt.Stream.Advancers(); n != 0 {
+				t.Fatalf("shared=%v iter %d: %d advancers after Stop", shared, i, n)
+			}
+			if shared {
+				if n := rt.Sharing().Chains(); n != 0 {
+					t.Fatalf("shared=%v iter %d: %d chains after Stop", shared, i, n)
+				}
+			}
+		}
+		rt.Close()
+	}
 }

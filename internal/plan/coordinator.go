@@ -43,8 +43,9 @@ import (
 // corrupted, or stale-format file is a clean error — never a panic or a
 // silently partial rehydration.
 type Coordinator struct {
-	eng  *stream.Engine
-	path string
+	eng   *stream.Engine
+	path  string
+	share *Sharing
 
 	mu   sync.Mutex
 	deps map[string]*coordEntry
@@ -95,6 +96,20 @@ func NewCoordinator(eng *stream.Engine, path string) *Coordinator {
 	return &Coordinator{eng: eng, path: path, deps: map[string]*coordEntry{}}
 }
 
+// EnableSharing makes every compile this coordinator performs — Deploy
+// and snapshot Restore alike — share plan prefixes through s (see
+// Sharing). Set it before the first Deploy and keep it for the
+// coordinator's lifetime: a snapshot Saved with sharing enabled must
+// Restore with it enabled (and vice versa), so the coordinator-side
+// checkpoint sequence both compiles produce lines up. Shared chain
+// window state is not yet in snapshots — a restored query's shared
+// window starts empty and refills from live input (see ROADMAP).
+func (c *Coordinator) EnableSharing(s *Sharing) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.share = s
+}
+
 // Deploy compiles b under name and tracks it for snapshots. Names must be
 // unique among live deployments.
 func (c *Coordinator) Deploy(name string, b *Built, opts CompileOptions) (*Deployment, error) {
@@ -102,6 +117,9 @@ func (c *Coordinator) Deploy(name string, b *Built, opts CompileOptions) (*Deplo
 	defer c.mu.Unlock()
 	if _, ok := c.deps[name]; ok {
 		return nil, fmt.Errorf("plan: deployment %q already exists", name)
+	}
+	if opts.Sharing == nil {
+		opts.Sharing = c.share
 	}
 	dep, err := CompileStreamOpts(b, c.eng, opts)
 	if err != nil {
@@ -292,6 +310,7 @@ func (c *Coordinator) Restore() error {
 			Failover:        sd.Failover,
 			CheckpointEvery: sd.CheckpointEvery,
 			StallTimeout:    sd.StallTimeout,
+			Sharing:         c.share,
 			restoreShards:   sd.Shards,
 			restoreCoord:    sd.Coord,
 			restoreLoc:      sd.Placement,

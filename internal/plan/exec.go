@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"aspen/internal/data"
@@ -56,8 +57,32 @@ type Deployment struct {
 	// coordCks lists the coordinator-side stateful operators — serial
 	// pipeline (or two-phase spine) operators in compile order, then the
 	// materialized result — the deterministic sequence durable snapshots
-	// encode and a rehydrated deployment restores.
+	// encode and a rehydrated deployment restores. Operators living in
+	// shared prefix chains are excluded: the chain, not any one
+	// deployment, owns them (their state is not yet snapshotted — see
+	// ROADMAP, multi-query sharing).
 	coordCks []stream.Checkpointer
+
+	// eng is the engine the deployment attached to; Close detaches the
+	// records below from it.
+	eng *stream.Engine
+	// heads records every engine-input subscription the compile made —
+	// serial pipeline heads, sharded exchange Sharders — so Close can
+	// unsubscribe them.
+	heads []headSub
+	// advs records the engine-tracked advancers (serial windows; the
+	// shard set itself) for UntrackWindow at Close.
+	advs []stream.Advancer
+	// shared records refcounted attachments to shared prefix chains.
+	shared []sharedAttach
+
+	closeOnce sync.Once
+}
+
+// headSub is one recorded engine-input subscription.
+type headSub struct {
+	in *stream.Input
+	op stream.Operator
 }
 
 // Flush blocks until every tuple pushed so far has been fully processed.
@@ -76,15 +101,33 @@ func (d *Deployment) Snapshot() ([]data.Tuple, error) {
 	return d.Result.Snapshot(d.OrderBy, d.Limit)
 }
 
-// Close stops the deployment's shard workers, if any. Safe on a live
-// engine: later pushes into the deployment's inputs and later clock ticks
-// are dropped at the exchange, so the result simply stops updating. The
-// set pointer stays in place — Close and Flush are idempotent and
-// closed-safe — so a concurrent Snapshot never races a teardown.
+// Close stops the deployment and detaches it from the engine: shard
+// workers (if any) stop first, then every engine-input subscription the
+// compile made is unsubscribed, every tracked advancer untracked, and
+// every shared-prefix attachment released — tearing down any chain whose
+// last query this was. Safe on a live engine: an in-flight push or tick
+// keeps the subscriber list it loaded, so at most one final delivery
+// lands; later pushes into the deployment's inputs and later clock ticks
+// no longer reach it. Close is idempotent and concurrent-safe with
+// Snapshot — the set pointer stays in place, and Flush on a closed set
+// is a no-op.
 func (d *Deployment) Close() {
-	if d.set != nil {
-		d.set.Close()
-	}
+	d.closeOnce.Do(func() {
+		if d.set != nil {
+			d.set.Close()
+		}
+		for _, h := range d.heads {
+			h.in.Unsubscribe(h.op)
+		}
+		if d.eng != nil {
+			for _, a := range d.advs {
+				d.eng.UntrackWindow(a)
+			}
+		}
+		for _, sa := range d.shared {
+			sa.release()
+		}
+	})
 }
 
 // Rescale moves a live sharded deployment onto a new worker topology:
@@ -187,6 +230,14 @@ type CompileOptions struct {
 	StallTimeout time.Duration
 	// OnFailover, when set, observes completed failovers (tests, ops).
 	OnFailover func(stream.FailoverEvent)
+	// Sharing, when set, lets this compile share canonicalized plan
+	// prefixes — the scan, its window, and any stack of selections over
+	// one non-table source — with every other deployment compiled against
+	// the same registry: N queries run one physical prefix chain, fanning
+	// out only where their plans diverge, and the last Close tears the
+	// chain down. Serial compiles only; sharded plans ignore it. See
+	// Sharing for semantics (warm-start attach, positional canon keys).
+	Sharing *Sharing
 
 	// restoreShards and restoreCoord rehydrate a deployment from a durable
 	// coordinator snapshot (see Coordinator): per-shard operator states
@@ -224,21 +275,31 @@ func CompileStreamOpts(b *Built, eng *stream.Engine, opts CompileOptions) (*Depl
 			return compileSharded(b, eng, opts, strat)
 		}
 	}
-	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: 1}
-	sink := newDeploymentSink(b, eng, dep)
+	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: 1, eng: eng}
+	sink, err := newDeploymentSink(b, eng, dep)
+	if err != nil {
+		return nil, err
+	}
 	c := &compiler{
-		track: eng.TrackWindow,
-		ck:    func(k stream.Checkpointer) { dep.coordCks = append(dep.coordCks, k) },
+		track: func(a stream.Advancer) {
+			eng.TrackWindow(a)
+			dep.advs = append(dep.advs, a)
+		},
+		ck: func(k stream.Checkpointer) { dep.coordCks = append(dep.coordCks, k) },
 		scanHead: func(x *Scan, head stream.Operator) error {
 			return attachScan(x, head, eng, dep)
 		},
+		share: opts.Sharing,
+		dep:   dep,
 	}
 	if err := c.compile(b.Root, sink); err != nil {
+		dep.Close() // detach whatever the partial compile already wired
 		return nil, err
 	}
 	dep.coordCks = append(dep.coordCks, dep.Result)
 	if opts.restoreCoord != nil {
 		if err := stream.RestoreCheckpoint(dep.coordCks, opts.restoreCoord); err != nil {
+			dep.Close()
 			return nil, err
 		}
 	}
@@ -247,15 +308,18 @@ func CompileStreamOpts(b *Built, eng *stream.Engine, opts CompileOptions) (*Depl
 
 // newDeploymentSink builds the shared result sink: the materialized result,
 // teed into the engine display when the plan names one.
-func newDeploymentSink(b *Built, eng *stream.Engine, dep *Deployment) stream.Operator {
+func newDeploymentSink(b *Built, eng *stream.Engine, dep *Deployment) (stream.Operator, error) {
 	mat := stream.NewMaterialize(b.Root.Schema())
 	dep.Result = mat
 	var sink stream.Operator = mat
 	if b.Display != "" {
-		disp := eng.Display(b.Display, b.Root.Schema())
+		disp, err := eng.Display(b.Display, b.Root.Schema())
+		if err != nil {
+			return nil, err
+		}
 		sink = stream.NewTee(mat, disp)
 	}
-	return sink
+	return sink, nil
 }
 
 // resolveScanInput registers (or validates) the engine input behind a
@@ -284,6 +348,7 @@ func attachScan(x *Scan, head stream.Operator, eng *stream.Engine, dep *Deployme
 		return err
 	}
 	in.Subscribe(head)
+	dep.heads = append(dep.heads, headSub{in: in, op: head})
 	dep.Inputs = append(dep.Inputs, x.Input)
 	if x.IsTable {
 		dep.TableHeads = append(dep.TableHeads, TableHead{Input: x.Input, Head: head})
@@ -312,8 +377,11 @@ func attachScan(x *Scan, head stream.Operator, eng *stream.Engine, dep *Deployme
 func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *shardStrategy) (*Deployment, error) {
 	p, nodes := opts.Parallelism, opts.Nodes
 	dep := &Deployment{OrderBy: b.OrderBy, Limit: b.Limit, Shards: p,
-		TwoPhase: strat.Split != nil, Nodes: nodes}
-	sink := newDeploymentSink(b, eng, dep)
+		TwoPhase: strat.Split != nil, Nodes: nodes, eng: eng}
+	sink, err := newDeploymentSink(b, eng, dep)
+	if err != nil {
+		return nil, err
+	}
 	set := stream.NewShardSet(p)
 
 	parRoot := b.Root
@@ -489,9 +557,11 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 	// and closes them).
 	set.Start()
 	eng.TrackWindow(set)
+	dep.advs = append(dep.advs, set)
 	dep.set = set
 	for _, w := range ws {
 		w.in.Subscribe(w.sh)
+		dep.heads = append(dep.heads, headSub{in: w.in, op: w.sh})
 		dep.Inputs = append(dep.Inputs, w.scan.Input)
 		if w.scan.IsTable {
 			dep.TableHeads = append(dep.TableHeads, TableHead{Input: w.scan.Input, Head: w.sh})
@@ -552,6 +622,12 @@ type compiler struct {
 	// sequence on every host of the same spec.
 	ck func(stream.Checkpointer)
 
+	// share and dep, when set (serial compiles with
+	// CompileOptions.Sharing), divert shareable prefixes onto the shared
+	// chain registry instead of compiling them privately.
+	share *Sharing
+	dep   *Deployment
+
 	splitAgg   *Aggregate
 	finalMerge *stream.FinalMerge
 }
@@ -564,6 +640,14 @@ func (c *compiler) ckAdd(k stream.Checkpointer) {
 }
 
 func (c *compiler) compile(n Node, out stream.Operator) error {
+	// The walk is top-down, so the first shareable subtree seen is the
+	// maximal shareable prefix: attach out to its shared chain and stop
+	// descending — the chain (not this deployment) owns those operators.
+	if c.share != nil {
+		if handled, err := c.share.tryAttach(n, out, c.dep); handled {
+			return err
+		}
+	}
 	switch x := n.(type) {
 	case *Scan:
 		head := out

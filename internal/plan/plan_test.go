@@ -317,7 +317,7 @@ func TestCompileOutputToDisplay(t *testing.T) {
 	}
 	in, _ := eng.Input("SeatSensors")
 	in.Push(data.NewTuple(1, data.Str("L101"), data.Int(1), data.Str("free")))
-	disp := eng.Display("lobbyScreen", b.Root.Schema())
+	disp := eng.MustDisplay("lobbyScreen", b.Root.Schema())
 	if disp.Len() != 1 {
 		t.Fatalf("display rows = %d", disp.Len())
 	}

@@ -1,0 +1,386 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+	"aspen/internal/sql"
+	"aspen/internal/stream"
+)
+
+// This file is the multi-query sharing layer: many standing queries over
+// the same building ask overlapping questions (the paper's workload —
+// "where is a free lab PC", per-floor rollups), and compiling each one a
+// private scan+window+select pipeline makes the engine's per-tuple cost
+// linear in the number of queries. Sharing canonicalizes the compiled
+// prefix of every serial plan — the scan, its window, and any stack of
+// selections directly above it — and lets N deployments subscribe to one
+// physical operator chain, fanning out (stream.Fanout) only where the
+// plans diverge. Chains are refcounted: the last Deployment.Close of the
+// last query on a chain detaches it from the engine (Input.Unsubscribe,
+// Engine.UntrackWindow) and frees its window state.
+//
+// Chains layer: the base chain is scan+window, and each distinct
+// selection predicate stacks a derived chain (one Filter feeding its own
+// Fanout) on the parent's fan-out point, so queries that share the scan
+// and window but diverge at the predicate still share the window — the
+// dominant state and maintenance cost.
+//
+// Canonical keys are positional: predicates are rendered with column
+// references rewritten to column indexes of the scan schema, so two
+// queries aliasing the same source differently (`temps AS t1` vs `AS
+// t2`) still share. Tuples are positional (data.Tuple.Vals), which is
+// what makes one physical chain's output valid input for every
+// subscriber regardless of its alias bindings.
+//
+// Semantics: a query attaching to a chain whose window is already
+// populated warm-starts — the window's current contents replay into the
+// query's divergent suffix as insertions (filtered through the chain's
+// predicates), so the later expiry deletions the shared window emits
+// always retract tuples the suffix has seen. A freshly attached query
+// therefore sees the current window contents where a private pipeline
+// would have started empty; once those rows expire the two are
+// indistinguishable. Attach and release follow the engine's deploy-time
+// contract: callers must not be pushing the affected input concurrently.
+type Sharing struct {
+	eng *stream.Engine
+
+	mu     sync.Mutex
+	chains map[string]*sharedChain
+}
+
+// NewSharing creates an empty sharing registry over one engine. Pass it
+// via CompileOptions.Sharing (core.Config.SharedPrefixes wires it for a
+// whole runtime); all compiles sharing prefixes must use one registry.
+func NewSharing(eng *stream.Engine) *Sharing {
+	return &Sharing{eng: eng, chains: map[string]*sharedChain{}}
+}
+
+// sharedChain is one physical prefix layer: the base scan+window, or one
+// selection stacked on a parent chain. refs counts direct query
+// attachments plus child chains; at zero the chain detaches.
+type sharedChain struct {
+	key    string
+	parent *sharedChain
+	fan    *stream.Fanout
+	// head feeds this layer: the window (or the fan itself, unwindowed)
+	// subscribed to the engine input for a base chain; the filter
+	// subscribed to parent.fan for a derived chain.
+	head stream.Operator
+	win  *stream.Window // base chain's window; nil when unwindowed
+	in   *stream.Input  // base chain's engine input
+	pred *expr.Compiled // derived chain's predicate (catch-up filtering)
+	refs int
+}
+
+// Stats reports the live chain count and the total number of query-side
+// attachments (fan-out subscriptions that are not child chains).
+func (s *Sharing) Stats() (chains, attached int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	children := 0
+	for _, ch := range s.chains {
+		if ch.parent != nil {
+			children++
+		}
+	}
+	total := 0
+	for _, ch := range s.chains {
+		total += ch.fan.Subscribers()
+	}
+	return len(s.chains), total - children
+}
+
+// Chains reports the number of live shared chains.
+func (s *Sharing) Chains() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.chains)
+}
+
+// shareablePrefix decomposes a subtree of the form Select*(Scan) over a
+// non-table source into its scan and predicate stack (innermost — applied
+// first — leading). Any other shape is not a shareable prefix.
+func shareablePrefix(n Node) (*Scan, []expr.Expr, bool) {
+	var preds []expr.Expr
+	for {
+		switch x := n.(type) {
+		case *Select:
+			preds = append(preds, x.Pred)
+			n = x.In
+		case *Scan:
+			if x.IsTable {
+				return nil, nil, false
+			}
+			// reverse: preds were collected outermost-first
+			for i, j := 0, len(preds)-1; i < j; i, j = i+1, j-1 {
+				preds[i], preds[j] = preds[j], preds[i]
+			}
+			return x, preds, true
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// canonScanKey renders the canonical identity of a scan+window prefix:
+// the engine input (case-insensitive) and the window shape. Aliases and
+// rate estimates are presentation, not physical identity.
+func canonScanKey(x *Scan) string {
+	w := windowFor(x.Window)
+	wk := "none"
+	if w != nil {
+		switch w.kind {
+		case sql.WindowRows:
+			wk = fmt.Sprintf("rows:%d", w.rows)
+		case sql.WindowNow:
+			wk = "now"
+		default:
+			wk = fmt.Sprintf("range:%d:%d", w.rng, w.slide)
+		}
+	}
+	return fmt.Sprintf("in:%s|arity:%d|w:%s", strings.ToLower(x.Input), x.Schema().Arity(), wk)
+}
+
+// canonExpr renders an expression with column references rewritten to
+// positional indexes of the scan schema, so predicates over differently
+// aliased scans of one source canonicalize identically. Reports false
+// for references the schema cannot resolve unambiguously (no sharing,
+// the private compile path will surface any real error).
+func canonExpr(e expr.Expr, s *data.Schema) (string, bool) {
+	switch x := e.(type) {
+	case expr.Col:
+		i, err := s.ColIndex(x.Ref)
+		if err != nil {
+			return "", false
+		}
+		return fmt.Sprintf("#%d", i), true
+	case expr.Lit:
+		return fmt.Sprintf("%d:%s", x.V.T, x.String()), true
+	case expr.Bin:
+		l, ok := canonExpr(x.L, s)
+		if !ok {
+			return "", false
+		}
+		r, ok := canonExpr(x.R, s)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("(%s %s %s)", l, x.Op, r), true
+	case expr.Un:
+		in, ok := canonExpr(x.X, s)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("(u%d %s)", x.Op, in), true
+	case expr.IsNull:
+		in, ok := canonExpr(x.X, s)
+		if !ok {
+			return "", false
+		}
+		if x.Neg {
+			return fmt.Sprintf("(%s NOTNULL)", in), true
+		}
+		return fmt.Sprintf("(%s ISNULL)", in), true
+	case expr.Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			c, ok := canonExpr(a, s)
+			if !ok {
+				return "", false
+			}
+			args[i] = c
+		}
+		return fmt.Sprintf("%s(%s)", strings.ToUpper(x.Name), strings.Join(args, ",")), true
+	}
+	return "", false
+}
+
+// tryAttach attaches out (the query's compiled divergent suffix) to the
+// shared chain for n's prefix, creating chain layers as needed. It
+// reports handled=false when n is not a shareable prefix — the caller
+// compiles privately. On handled=true the subtree is fully wired (or err
+// is the compile error) and the attachment is recorded on dep for
+// release at Close.
+func (s *Sharing) tryAttach(n Node, out stream.Operator, dep *Deployment) (handled bool, err error) {
+	scan, preds, ok := shareablePrefix(n)
+	if !ok {
+		return false, nil
+	}
+	keys := make([]string, 0, len(preds)+1)
+	key := canonScanKey(scan)
+	keys = append(keys, key)
+	for _, p := range preds {
+		c, ok := canonExpr(p, scan.Schema())
+		if !ok {
+			return false, nil
+		}
+		key += "|p:" + c
+		keys = append(keys, key)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, err := s.ensureBase(keys[0], scan)
+	if err != nil {
+		s.gcLocked()
+		return true, err
+	}
+	for i, p := range preds {
+		ch, err = s.ensureLayer(ch, keys[i+1], p, scan.Schema())
+		if err != nil {
+			s.gcLocked()
+			return true, err
+		}
+	}
+
+	// Warm start: replay the window's current contents (filtered through
+	// the chain's predicates) into the suffix before subscribing it, so
+	// the shared window's future expiry deletions always match insertions
+	// the suffix has seen.
+	if rows := s.catchUp(ch); len(rows) > 0 {
+		stream.PushBatch(out, rows)
+	}
+	ch.fan.Subscribe(out)
+	ch.refs++
+	dep.Inputs = append(dep.Inputs, scan.Input)
+	dep.shared = append(dep.shared, sharedAttach{s: s, ch: ch, out: out})
+	return true, nil
+}
+
+// ensureBase finds or builds the scan+window base chain. Caller holds
+// s.mu.
+func (s *Sharing) ensureBase(key string, scan *Scan) (*sharedChain, error) {
+	if ch, ok := s.chains[key]; ok {
+		return ch, nil
+	}
+	in, err := resolveScanInput(scan, s.eng)
+	if err != nil {
+		return nil, err
+	}
+	ch := &sharedChain{key: key, fan: stream.NewFanout(scan.Schema()), in: in}
+	ch.head = ch.fan
+	if w := windowFor(scan.Window); w != nil {
+		ch.win = buildWindow(w, ch.fan)
+		ch.head = ch.win
+		s.eng.TrackWindow(ch.win)
+	}
+	in.Subscribe(ch.head)
+	s.chains[key] = ch
+	return ch, nil
+}
+
+// ensureLayer finds or builds the derived chain stacking pred on parent.
+// Caller holds s.mu.
+func (s *Sharing) ensureLayer(parent *sharedChain, key string, pred expr.Expr, schema *data.Schema) (*sharedChain, error) {
+	if ch, ok := s.chains[key]; ok {
+		return ch, nil
+	}
+	compiled, err := expr.Bind(pred, schema)
+	if err != nil {
+		return nil, err
+	}
+	ch := &sharedChain{key: key, parent: parent, fan: stream.NewFanout(schema), pred: compiled}
+	ch.head = stream.NewFilter(ch.fan, compiled)
+	parent.fan.Subscribe(ch.head)
+	parent.refs++
+	s.chains[key] = ch
+	return ch, nil
+}
+
+// catchUp snapshots the rows a fresh subscriber of ch must see: the base
+// window's live contents filtered down the chain's predicate stack.
+// Caller holds s.mu and must not be pushing concurrently.
+func (s *Sharing) catchUp(ch *sharedChain) []data.Tuple {
+	var layers []*sharedChain
+	base := ch
+	for base.parent != nil {
+		layers = append(layers, base)
+		base = base.parent
+	}
+	if base.win == nil {
+		return nil // unwindowed: no replayable state, same as a private chain
+	}
+	rows := base.win.Contents()
+	// layers run outermost-first here; predicate order cannot change the
+	// surviving subset (filters commute), only the work order.
+	for _, l := range layers {
+		keep := rows[:0]
+		for _, t := range rows {
+			if l.pred.EvalBool(t) {
+				keep = append(keep, t)
+			}
+		}
+		rows = keep
+	}
+	return rows
+}
+
+// release undoes one attachment: the suffix unsubscribes from its chain,
+// and every chain whose refcount reaches zero detaches from its parent
+// (ultimately from the engine input and tick list) and is forgotten —
+// the last Stop of the last query sharing a prefix tears the physical
+// chain down.
+func (s *Sharing) release(ch *sharedChain, out stream.Operator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch.fan.Unsubscribe(out)
+	for ch != nil {
+		ch.refs--
+		if ch.refs > 0 {
+			return
+		}
+		delete(s.chains, ch.key)
+		if ch.parent != nil {
+			ch.parent.fan.Unsubscribe(ch.head)
+		} else {
+			ch.in.Unsubscribe(ch.head)
+			if ch.win != nil {
+				s.eng.UntrackWindow(ch.win)
+			}
+		}
+		ch = ch.parent
+	}
+}
+
+// gcLocked detaches and forgets chains nothing references — the cleanup
+// for a tryAttach that failed after creating chain layers (every chain
+// that survives a successful attach holds at least one reference).
+// Caller holds s.mu.
+func (s *Sharing) gcLocked() {
+	for {
+		removed := false
+		for _, ch := range s.chains {
+			if ch.refs != 0 {
+				continue
+			}
+			delete(s.chains, ch.key)
+			if ch.parent != nil {
+				ch.parent.fan.Unsubscribe(ch.head)
+				ch.parent.refs--
+			} else {
+				ch.in.Unsubscribe(ch.head)
+				if ch.win != nil {
+					s.eng.UntrackWindow(ch.win)
+				}
+			}
+			removed = true
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// sharedAttach records one query-side attachment for release at
+// Deployment.Close.
+type sharedAttach struct {
+	s   *Sharing
+	ch  *sharedChain
+	out stream.Operator
+}
+
+func (a sharedAttach) release() { a.s.release(a.ch, a.out) }

@@ -171,7 +171,7 @@ func TestAlarmQuery(t *testing.T) {
 		}
 	}
 	// alarms routed to the display too
-	if app.RT.Stream.Display("alarms", nil).Len() == 0 {
+	if app.RT.Stream.MustDisplay("alarms", nil).Len() == 0 {
 		t.Fatal("alarms display empty")
 	}
 }

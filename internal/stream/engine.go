@@ -28,8 +28,16 @@ type Engine struct {
 	name     string
 	clock    vtime.Clock
 	inputs   map[string]*Input
-	displays map[string]*Materialize
+	displays map[string]*display
 	advs     atomic.Pointer[[]Advancer]
+}
+
+// display is one registered display endpoint: the materialized view plus
+// the original-case name it was first registered under (lookups are
+// case-insensitive, listings report the registered name).
+type display struct {
+	name string
+	mat  *Materialize
 }
 
 // NewEngine creates a named engine node.
@@ -41,7 +49,7 @@ func NewEngine(name string, clock vtime.Clock) *Engine {
 		name:     name,
 		clock:    clock,
 		inputs:   map[string]*Input{},
-		displays: map[string]*Materialize{},
+		displays: map[string]*display{},
 	}
 }
 
@@ -121,6 +129,38 @@ func (in *Input) Subscribe(op Operator) {
 	in.subs.Store(&next)
 	in.engine.mu.Unlock()
 }
+
+// Unsubscribe detaches a previously subscribed pipeline head, reporting
+// whether it was found. Removal is copy-on-write like Subscribe: a push
+// already dispatching keeps the list it loaded (the head may see one last
+// in-flight delivery), every later push skips the head. Only the first
+// matching subscription is removed, so double-subscribed heads detach one
+// subscription per call.
+func (in *Input) Unsubscribe(op Operator) bool {
+	in.engine.mu.Lock()
+	defer in.engine.mu.Unlock()
+	cur := in.subs.Load()
+	if cur == nil {
+		return false
+	}
+	next := make([]Operator, 0, len(*cur))
+	removed := false
+	for _, o := range *cur {
+		if !removed && o == op {
+			removed = true
+			continue
+		}
+		next = append(next, o)
+	}
+	if removed {
+		in.subs.Store(&next)
+	}
+	return removed
+}
+
+// Subscribers reports the number of currently subscribed pipeline heads;
+// churn tests assert it returns to baseline after queries stop.
+func (in *Input) Subscribers() int { return len(in.subscribers()) }
 
 // subscribers loads the current subscriber list without locking.
 func (in *Input) subscribers() []Operator {
@@ -204,6 +244,41 @@ func (e *Engine) TrackWindow(a Advancer) {
 	e.mu.Unlock()
 }
 
+// UntrackWindow removes a tracked Advancer, reporting whether it was
+// found — the symmetric detach Deployment.Close relies on so a stopped
+// query's windows stop receiving ticks. Copy-on-write like TrackWindow: a
+// concurrent Advance may deliver one last in-flight tick.
+func (e *Engine) UntrackWindow(a Advancer) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.advs.Load()
+	if cur == nil {
+		return false
+	}
+	next := make([]Advancer, 0, len(*cur))
+	removed := false
+	for _, x := range *cur {
+		if !removed && x == a {
+			removed = true
+			continue
+		}
+		next = append(next, x)
+	}
+	if removed {
+		e.advs.Store(&next)
+	}
+	return removed
+}
+
+// Advancers reports the number of currently tracked Advancers; churn
+// tests assert it returns to baseline after queries stop.
+func (e *Engine) Advancers() int {
+	if advs := e.advs.Load(); advs != nil {
+		return len(*advs)
+	}
+	return 0
+}
+
 // Advance ticks every tracked window to the given instant, expiring state
 // during stream silence.
 func (e *Engine) Advance(now vtime.Time) {
@@ -215,26 +290,61 @@ func (e *Engine) Advance(now vtime.Time) {
 }
 
 // Display returns (creating on first use) the materialized view behind a
-// named display endpoint; OUTPUT TO d routes here.
-func (e *Engine) Display(name string, schema *data.Schema) *Materialize {
+// named display endpoint; OUTPUT TO d routes here. Lookups are
+// case-insensitive. A nil schema is a pure lookup-or-create; a non-nil
+// schema that conflicts with the existing display's (different arity or
+// column types) is an error rather than a silently mismatched view.
+func (e *Engine) Display(name string, schema *data.Schema) (*Materialize, error) {
 	key := strings.ToLower(name)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if m, ok := e.displays[key]; ok {
-		return m
+	if d, ok := e.displays[key]; ok {
+		if schema != nil && !schemaCompatible(d.mat.Schema(), schema) {
+			return nil, fmt.Errorf("stream: display %q has schema %s, conflicting with %s",
+				d.name, d.mat.Schema(), schema)
+		}
+		return d.mat, nil
 	}
 	m := NewMaterialize(schema)
-	e.displays[key] = m
+	e.displays[key] = &display{name: name, mat: m}
+	return m, nil
+}
+
+// MustDisplay is Display for statically compatible schemas; panics on a
+// schema conflict.
+func (e *Engine) MustDisplay(name string, schema *data.Schema) *Materialize {
+	m, err := e.Display(name, schema)
+	if err != nil {
+		panic(err)
+	}
 	return m
 }
 
-// Displays lists display names, sorted.
+// schemaCompatible reports whether two display schemas describe the same
+// physical rows: same arity, same column types position by position.
+// Column names may differ (queries alias freely); values are positional.
+func schemaCompatible(a, b *data.Schema) bool {
+	if a == nil || b == nil {
+		return true
+	}
+	if a.Arity() != b.Arity() {
+		return false
+	}
+	for i := range a.Cols {
+		if a.Cols[i].Type != b.Cols[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// Displays lists display names as registered (original case), sorted.
 func (e *Engine) Displays() []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make([]string, 0, len(e.displays))
-	for k := range e.displays {
-		out = append(out, k)
+	for _, d := range e.displays {
+		out = append(out, d.name)
 	}
 	sort.Strings(out)
 	return out

@@ -88,8 +88,8 @@ func TestEngineAdvanceTicksWindows(t *testing.T) {
 
 func TestEngineDisplays(t *testing.T) {
 	e := NewEngine("n", vtime.NewScheduler())
-	d1 := e.Display("lobby", tempSchema())
-	d2 := e.Display("LOBBY", tempSchema())
+	d1 := e.MustDisplay("Lobby", tempSchema())
+	d2 := e.MustDisplay("LOBBY", tempSchema())
 	if d1 != d2 {
 		t.Fatal("display identity not case-insensitive")
 	}
@@ -97,8 +97,27 @@ func TestEngineDisplays(t *testing.T) {
 	if d2.Len() != 1 {
 		t.Fatal("display state lost")
 	}
-	if got := e.Displays(); len(got) != 1 || got[0] != "lobby" {
-		t.Fatalf("displays = %v", got)
+	if got := e.Displays(); len(got) != 1 || got[0] != "Lobby" {
+		t.Fatalf("displays = %v (want the first-registered name, original case)", got)
+	}
+	// nil schema is lookup-or-create; a positionally identical schema with
+	// different column names is compatible (values are positional).
+	if _, err := e.Display("lobby", nil); err != nil {
+		t.Fatalf("nil-schema lookup: %v", err)
+	}
+	renamed := data.NewSchema("x", data.Col("r", data.TString), data.Col("v", data.TFloat))
+	if _, err := e.Display("lobby", renamed); err != nil {
+		t.Fatalf("renamed-columns lookup: %v", err)
+	}
+	// A conflicting schema (different arity or column types) is an error,
+	// not a silent reuse of the wrong rows.
+	narrow := data.NewSchema("x", data.Col("r", data.TString))
+	if _, err := e.Display("lobby", narrow); err == nil {
+		t.Fatal("conflicting arity accepted")
+	}
+	retyped := data.NewSchema("x", data.Col("r", data.TString), data.Col("v", data.TInt))
+	if _, err := e.Display("lobby", retyped); err == nil {
+		t.Fatal("conflicting column type accepted")
 	}
 }
 

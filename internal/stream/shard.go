@@ -152,8 +152,9 @@ func (f *failoverRuntime) waitIdle() bool {
 // through Sharders → Flush (barrier) whenever a consistent snapshot of the
 // downstream sink is needed → Close. Close is safe while producers (engine
 // ticks, still-subscribed Sharders) are live: the set drops everything
-// sent after the close instead of panicking, matching the engine's
-// "stopped queries abandon their operator state" convention.
+// sent after the close instead of panicking, so the detach a stopping
+// deployment performs (Input.Unsubscribe, Engine.UntrackWindow) can land
+// before or after the set closes without a window of panics between.
 //
 // # Failover state machine
 //
@@ -432,7 +433,8 @@ func (s *ShardSet) recycle(batch []data.Tuple) {
 // in-order with their shard's data stream wherever the replica lives. The
 // engine tick loop returns promptly (remote ticks can briefly block on
 // backpressure); Flush waits for the expiry work. Ticks after Close are
-// dropped (the engine has no untrack).
+// dropped — Deployment.Close untracks the set from its engine, but an
+// in-flight Advance may still deliver one last tick.
 //
 // Worker connections tick concurrently under the set's read lock: one
 // stalled worker costs the engine tick loop at most one stall timeout
