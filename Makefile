@@ -20,12 +20,14 @@ check: build vet fmt test
 
 # bench runs the E1-E11 microbenchmarks with allocation stats, then
 # regenerates the experiment tables (including the E7 shard,
-# global-aggregate, multi-node, elastic/failover-armed sweeps and the
-# E11 query-density sweep) and writes them, plus the recorded
-# seed/PR-1..PR-7 baselines, to BENCH_PR8.json.
+# global-aggregate, multi-node, elastic/failover-armed sweeps, the
+# E11 query-density sweep and the E2-remote fragment-at-worker
+# comparison) and writes them, plus the recorded seed/PR-1..PR-8
+# baselines, to $(BENCH_OUT).
+BENCH_OUT ?= BENCH_PR9.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
-	$(GO) run ./cmd/benchharness -json BENCH_PR8.json
+	$(GO) run ./cmd/benchharness -json $(BENCH_OUT)
 
 # bench-smoke compiles and runs every benchmark in every package exactly
 # once, so benchmarks cannot rot uncompiled between PRs; mirrored by the
@@ -50,6 +52,8 @@ race:
 dist:
 	$(GO) test -race -run 'ShardDifferentialMultiNode|ShardDifferentialMixedLocalRemote|DistributedWorkerProcesses' \
 		./internal/plan/ -fuzzshard.nodes=2 -fuzzshard.n=40 -v
+	$(GO) test -race -run 'RemoteSensorFragment|FragmentIneligible|CompileShardedRemoteFragment|CompileShardedFragmentStaysCentral' \
+		./internal/core/ ./internal/plan/ -v
 
 # chaos runs the kill-mode differential under the race detector: random
 # plans deploy with checkpointed failover armed over loopback shard
@@ -64,6 +68,7 @@ chaos:
 	$(GO) test -race -run 'ShardDifferentialChaos|ChaosWorkerProcessKill' \
 		./internal/plan/ -fuzzshard.kill=8 -v
 	$(GO) test -race -run 'Failover|CheckpointRestore' ./internal/stream/ -v
+	$(GO) test -race -run 'RemoteSensorFragmentSurvivesWorkerKill' ./internal/core/ -v
 
 # elastic runs the join/leave/restart differential under the race
 # detector: random plans serve while workers are added and removed
@@ -85,10 +90,11 @@ elastic:
 # the floors rise as coverage grows (PR 3 introduced the gate; PR 5 raised
 # it with the failover subsystem; PR 6 with the wire codec + mux tests;
 # PR 7 with the elastic rescale + coordinator snapshot tests; PR 8 with
-# the detach/fanout and shared-prefix tests), so new code must arrive
-# tested.
+# the detach/fanout and shared-prefix tests; PR 9 added the sensor floor
+# with the fragment runner + churn tests), so new code must arrive tested.
 COVER_FLOOR_STREAM := 91.7
 COVER_FLOOR_PLAN   := 88.5
+COVER_FLOOR_SENSOR := 86.5
 .PHONY: cover
 cover:
 	@check() { \
@@ -99,4 +105,20 @@ cover:
 		echo "$$1: coverage $$pct% (floor $$2%)"; \
 	}; \
 	check ./internal/stream/ $(COVER_FLOOR_STREAM) && \
-	check ./internal/plan/ $(COVER_FLOOR_PLAN)
+	check ./internal/plan/ $(COVER_FLOOR_PLAN) && \
+	check ./internal/sensor/ $(COVER_FLOOR_SENSOR)
+
+# lint runs the static analyzers the CI lint job pins (staticcheck for
+# correctness/simplification findings, govulncheck for known-vulnerable
+# call paths). The binaries are not vendored; when absent locally the
+# target says how to get them and fails, matching CI's install step.
+STATICCHECK ?= staticcheck
+GOVULNCHECK ?= govulncheck
+.PHONY: lint
+lint:
+	@command -v $(STATICCHECK) >/dev/null 2>&1 || \
+		{ echo "staticcheck not found; install with: go install honnef.co/go/tools/cmd/staticcheck@2025.1.1"; exit 1; }
+	@command -v $(GOVULNCHECK) >/dev/null 2>&1 || \
+		{ echo "govulncheck not found; install with: go install golang.org/x/vuln/cmd/govulncheck@v1.1.4"; exit 1; }
+	$(STATICCHECK) ./...
+	$(GOVULNCHECK) ./...

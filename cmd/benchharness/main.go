@@ -159,6 +159,7 @@ func main() {
 	all := map[string]func() experiments.Table{
 		"E1":  experiments.E1FederatedPartitioning,
 		"E2":  experiments.E2InNetworkJoin,
+		"E2R": experiments.E2RemoteFragment,
 		"E3":  experiments.E3JoinPlacement,
 		"E4":  experiments.E4InNetworkAgg,
 		"E5":  experiments.E5RouteLatency,
@@ -169,7 +170,7 @@ func main() {
 		"E10": experiments.E10Alarms,
 		"E11": experiments.E11QueryDensity,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	order := []string{"E1", "E2", "E2R", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 
 	want := flag.Args()
 	if len(want) == 0 {

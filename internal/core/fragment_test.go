@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aspen/internal/plan"
+	"aspen/internal/sensor"
+	"aspen/internal/sensornet"
+	"aspen/internal/stream"
+	"aspen/internal/vtime"
+)
+
+// fieldEnv is a pure function of (node, sensor, instant): every engine
+// built over the same grid sees identical readings, so the coordinator's
+// central engine and the shard workers' engines stay bit-equal — the
+// property the serial-vs-remote differentials rely on.
+func fieldEnv(n sensornet.Node, kind sensornet.SensorKind, now vtime.Time) (float64, bool) {
+	switch kind {
+	case sensornet.SensorTemperature:
+		return 20 + float64(n.ID) + float64(int64(now)/int64(vtime.Second)%7), true
+	case sensornet.SensorLight:
+		if n.ID%5 == 4 { // every fifth desk is occupied (dark chair sensor)
+			return 3, true
+		}
+		return 70, true
+	}
+	return 0, false
+}
+
+// newFieldEngine builds one deterministic 4x4 desk-grid sensor engine;
+// every call returns an identically-behaving engine.
+func newFieldEngine() *sensor.Engine {
+	nw := sensornet.Grid(sensornet.DefaultConfig(), 4, 4, 100, 4,
+		sensornet.SensorTemperature, sensornet.SensorLight)
+	return sensor.NewEngine(nw, sensor.EnvFunc(fieldEnv))
+}
+
+// newFragmentRuntime assembles a sensor-backed runtime with the given
+// parallelism and (annotated) worker topology.
+func newFragmentRuntime(t *testing.T, par int, failover bool, nodes ...string) (*Runtime, *vtime.Scheduler) {
+	t.Helper()
+	sched := vtime.NewScheduler()
+	rt := New(Config{
+		Scheduler:    sched,
+		SensorEngine: newFieldEngine(),
+		Parallelism:  par,
+		Nodes:        nodes,
+		Failover:     failover,
+		CheckpointEvery: func() int {
+			if failover {
+				return 2
+			}
+			return 0
+		}(),
+	})
+	t.Cleanup(rt.Close)
+	if err := rt.RegisterSensorStream("Temperature", sensornet.SensorTemperature, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterSensorStream("Light", sensornet.SensorLight, 16); err != nil {
+		t.Fatal(err)
+	}
+	return rt, sched
+}
+
+// newSensorWorkers starts n loopback shard workers, each hosting its own
+// deterministic copy of the sensor field under the given source names, and
+// returns their affinity-annotated node entries.
+func newSensorWorkers(t *testing.T, n int, sources ...string) ([]*stream.ShardWorker, []string) {
+	t.Helper()
+	var workers []*stream.ShardWorker
+	var nodes []string
+	for i := 0; i < n; i++ {
+		hosts := plan.NewSensorHosts()
+		eng := newFieldEngine()
+		affinity := ""
+		for _, src := range sources {
+			hosts.Add(src, eng)
+			if affinity != "" {
+				affinity += ","
+			}
+			affinity += src
+		}
+		w, err := plan.NewSensorWorker("127.0.0.1:0", hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		workers = append(workers, w)
+		nodes = append(nodes, w.Addr()+"="+affinity)
+	}
+	return workers, nodes
+}
+
+// runFragmentDifferential deploys src serially and over two sensor-hosting
+// loopback workers, runs both for the same virtual time, and requires the
+// distributed deployment to (a) have pushed at least one sensor fragment
+// into the shard replicas and (b) produce the serial result exactly.
+func runFragmentDifferential(t *testing.T, src string, sources ...string) {
+	t.Helper()
+	srt, ssched := newFragmentRuntime(t, 0, false)
+	sq, err := srt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssched.RunUntil(8 * vtime.Second)
+	want, err := sq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial reference is empty")
+	}
+
+	_, nodes := newSensorWorkers(t, 2, sources...)
+	prt, psched := newFragmentRuntime(t, 4, false, nodes...)
+	pq, err := prt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Deployment.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", pq.Deployment.Shards)
+	}
+	if len(pq.Deployment.RemoteFragments) == 0 {
+		t.Fatalf("no sensor fragments were pushed into the shard replicas (fragments: %v)",
+			pq.Partition.Chosen.Desc)
+	}
+	psched.RunUntil(8 * vtime.Second)
+	got, err := pq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Stop()
+	if len(got) != len(want) {
+		t.Fatalf("distributed rows %v, want %v", got, want)
+	}
+	for i := range want {
+		if !want[i].EqualVals(got[i]) {
+			t.Fatalf("row %d: distributed %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRemoteSensorFragmentSelectMatchesSerial pushes an in-network select
+// fragment into shard replicas hosted by two loopback sensor workers and
+// checks the grouped windowed rollup over it against serial execution.
+func TestRemoteSensorFragmentSelectMatchesSerial(t *testing.T) {
+	runFragmentDifferential(t,
+		`SELECT l.room, count(*) AS n FROM Light l [RANGE 4 SECONDS]
+		 WHERE l.value < 10 GROUP BY l.room ORDER BY l.room`,
+		"light")
+}
+
+// TestRemoteSensorFragmentAggregateMatchesSerial does the same for a
+// per-room aggregate over temperature readings.
+func TestRemoteSensorFragmentAggregateMatchesSerial(t *testing.T) {
+	runFragmentDifferential(t,
+		`SELECT r.room, count(*) AS n, avg(r.value) AS v
+		 FROM Temperature r [RANGE 4 SECONDS] GROUP BY r.room ORDER BY r.room`,
+		"temperature")
+}
+
+// TestRemoteSensorFragmentJoinMatchesSerial does the same for the SmartCIS
+// occupancy join (temperature ⋈ light at the occupied desks).
+func TestRemoteSensorFragmentJoinMatchesSerial(t *testing.T) {
+	runFragmentDifferential(t,
+		`SELECT t.room, count(*) AS n, avg(t.value) AS v
+		 FROM Temperature t, Light l [RANGE 4 SECONDS]
+		 WHERE t.room = l.room AND t.desk = l.desk AND l.value < 10
+		 GROUP BY t.room ORDER BY t.room`,
+		"temperature", "light")
+}
+
+// TestRemoteSensorFragmentSurvivesWorkerKill runs the select differential
+// with failover armed and kills one of the two sensor workers mid-run: the
+// dead worker's shards — fragment runners included — must redeploy from
+// their checkpoints, regenerate the missed epochs, and still match serial.
+func TestRemoteSensorFragmentSurvivesWorkerKill(t *testing.T) {
+	const src = `SELECT l.room, count(*) AS n FROM Light l [RANGE 4 SECONDS]
+		 WHERE l.value < 10 GROUP BY l.room ORDER BY l.room`
+
+	srt, ssched := newFragmentRuntime(t, 0, false)
+	sq, err := srt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssched.RunUntil(9 * vtime.Second)
+	want, err := sq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial reference is empty")
+	}
+
+	workers, nodes := newSensorWorkers(t, 2, "light")
+	prt, psched := newFragmentRuntime(t, 4, true, nodes...)
+	pq, err := prt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pq.Deployment.RemoteFragments) == 0 {
+		t.Fatal("no sensor fragments were pushed into the shard replicas")
+	}
+	if !pq.Deployment.Failover {
+		t.Fatal("deployment is not failover-armed")
+	}
+	psched.RunUntil(4 * vtime.Second)
+	workers[1].Close()
+	psched.RunUntil(9 * vtime.Second)
+	got, err := pq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Stop()
+	if len(got) != len(want) {
+		t.Fatalf("post-kill rows %v, want %v", got, want)
+	}
+	for i := range want {
+		if !want[i].EqualVals(got[i]) {
+			t.Fatalf("row %d: post-kill %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRemoteSensorFragmentRescaleKeepsLocality rescales a fragment-carrying
+// deployment onto a third sensor worker joining the pool and checks results
+// keep matching serial afterwards — and that shards never land on a worker
+// without the source.
+func TestRemoteSensorFragmentRescaleKeepsLocality(t *testing.T) {
+	const src = `SELECT l.room, count(*) AS n FROM Light l [RANGE 4 SECONDS]
+		 WHERE l.value < 10 GROUP BY l.room ORDER BY l.room`
+
+	srt, ssched := newFragmentRuntime(t, 0, false)
+	sq, err := srt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssched.RunUntil(9 * vtime.Second)
+	want, err := sq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, nodes := newSensorWorkers(t, 2, "light")
+	prt, psched := newFragmentRuntime(t, 4, false, nodes...)
+	pq, err := prt.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pq.Deployment.RemoteFragments) == 0 {
+		t.Fatal("no sensor fragments were pushed into the shard replicas")
+	}
+	psched.RunUntil(4 * vtime.Second)
+
+	_, more := newSensorWorkers(t, 1, "light")
+	grown := append(append([]string{}, nodes...), more...)
+	if err := pq.Rescale(grown); err != nil {
+		t.Fatal(err)
+	}
+	addrs, affinity := plan.ParseNodes(grown)
+	hosted := map[string]bool{}
+	for _, a := range addrs {
+		for _, s := range affinity[a] {
+			if s == "light" {
+				hosted[a] = true
+			}
+		}
+	}
+	for j, a := range pq.Deployment.Placement() {
+		if a != "" && !hosted[a] {
+			t.Fatalf("shard %d rescaled onto %s, which does not host light", j, a)
+		}
+	}
+	psched.RunUntil(9 * vtime.Second)
+	got, err := pq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Stop()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("post-rescale rows %v, want %v", got, want)
+	}
+}
+
+// TestFragmentIneligibleTickMisalignment keeps a fragment central when its
+// epoch period does not divide into tick instants: the deployment must
+// still run (central runner, exchange feed) and match serial.
+func TestFragmentIneligibleTickMisalignment(t *testing.T) {
+	// 1s epochs over a 3s tick: epochs fall between tick barriers, so the
+	// compile must keep the fragment on the coordinator.
+	sched := vtime.NewScheduler()
+	rt := New(Config{
+		Scheduler:    sched,
+		SensorEngine: newFieldEngine(),
+		Parallelism:  2,
+		TickPeriod:   3 * time.Second,
+	})
+	t.Cleanup(rt.Close)
+	if err := rt.RegisterSensorStream("Light", sensornet.SensorLight, 16); err != nil {
+		t.Fatal(err)
+	}
+	_, nodes := newSensorWorkers(t, 2, "light")
+	rt.nodes = nodes
+
+	q, err := rt.Run(`SELECT l.room, count(*) AS n FROM Light l [RANGE 6 SECONDS]
+		 WHERE l.value < 10 GROUP BY l.room ORDER BY l.room`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Stop()
+	if len(q.Deployment.RemoteFragments) != 0 {
+		t.Fatalf("misaligned fragment was pushed remote: %v", q.Deployment.RemoteFragments)
+	}
+	sched.RunUntil(5 * vtime.Second)
+	rows, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("central fallback produced no rows")
+	}
+}

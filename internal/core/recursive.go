@@ -153,7 +153,7 @@ func (rt *Runtime) deployRecursive(sqlText string, wr *sql.WithRecursive) (*Quer
 		Residual:   expr.Conjoin(residual),
 		Project:    project,
 		MaxDepth:   rt.recursion,
-	}, stream.NewCallback(viewSchema, func(t data.Tuple) { viewIn.Push(t) }))
+	}, stream.NewBatchCallback(viewSchema, func(ts []data.Tuple) { viewIn.PushBatch(ts) }))
 	if err != nil {
 		return nil, err
 	}
@@ -231,10 +231,12 @@ func pipelineInto(sink stream.Operator, in *data.Schema, where expr.Expr, items 
 
 func (rt *Runtime) loadRelation(rel *data.Relation, head stream.Operator) {
 	now := rt.Sched.Now()
+	var rows []data.Tuple
 	rel.Scan(func(t data.Tuple) bool {
 		t.TS = now
 		t.Op = data.Insert
-		head.Push(t)
+		rows = append(rows, t)
 		return true
 	})
+	stream.PushBatch(head, rows)
 }

@@ -91,12 +91,14 @@ type Runtime struct {
 
 	fed         *federation.Federator
 	sensors     *sensor.Engine
+	hosts       *plan.SensorHosts
 	recursion   int
 	parallelism int
 	nodes       []string
 	failover    bool
 	ckEvery     int
 	stall       time.Duration
+	tick        time.Duration
 	share       *plan.Sharing
 	tickCancel  func()
 
@@ -131,6 +133,7 @@ func New(cfg Config) *Runtime {
 		failover:    cfg.Failover,
 		ckEvery:     cfg.CheckpointEvery,
 		stall:       cfg.FailoverStallTimeout,
+		tick:        cfg.TickPeriod,
 	}
 	if cfg.SharedPrefixes {
 		rt.share = plan.NewSharing(rt.Stream)
@@ -144,8 +147,10 @@ func New(cfg Config) *Runtime {
 	rt.fed = &federation.Federator{Cat: rt.Cat}
 	if cfg.SensorEngine != nil {
 		kinds := map[string]sensornet.SensorKind{}
+		rt.hosts = plan.NewSensorHosts()
 		for k, v := range cfg.SensorKinds {
 			kinds[lower(k)] = v
+			rt.hosts.Add(k, cfg.SensorEngine)
 		}
 		rt.fed.Sensors = &federation.Binding{Kinds: kinds, Engine: cfg.SensorEngine}
 	}
@@ -277,7 +282,8 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 	}
 	opts := plan.CompileOptions{Parallelism: rt.parallelism, Nodes: rt.nodes,
 		Failover: rt.failover, CheckpointEvery: rt.ckEvery, StallTimeout: rt.stall,
-		Sharing: rt.share}
+		Sharing: rt.share, SensorHosts: rt.hosts, TickPeriod: rt.tick,
+		Now: rt.Sched.Now(), Fragments: fragSpecs(res.Chosen.Fragments)}
 	var dep *plan.Deployment
 	var name string
 	if rt.coord != nil {
@@ -301,8 +307,18 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 
 	// Start sensor fragments feeding their inputs, one batch per epoch: the
 	// engine dispatches (and a sharded plan exchanges) each epoch's
-	// deliveries in a single PushBatch instead of tuple-at-a-time.
+	// deliveries in a single PushBatch instead of tuple-at-a-time. Fragments
+	// the compile pushed into the shard replicas (dep.RemoteFragments) run
+	// partitioned at the shard homes instead — no central runner, and no
+	// exchange hop for their epochs.
+	remote := map[string]bool{}
+	for _, name := range dep.RemoteFragments {
+		remote[name] = true
+	}
 	for _, frag := range res.Chosen.Fragments {
+		if remote[frag.DerivedName] {
+			continue
+		}
 		in, ok := rt.Stream.Input(frag.DerivedName)
 		if !ok {
 			// A ship-all fragment whose raw source the plan did not end up
@@ -329,6 +345,19 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 	}
 	rt.loadTables(dep)
 	return q, nil
+}
+
+// fragSpecs lowers the optimizer's fragment decisions to the compile-level
+// descriptors locality placement and shard-hosted deployment work from.
+func fragSpecs(frags []*federation.Fragment) []plan.SensorFragment {
+	specs := make([]plan.SensorFragment, 0, len(frags))
+	for _, f := range frags {
+		specs = append(specs, plan.SensorFragment{
+			Name: f.DerivedName, Sources: f.Sources,
+			Select: f.Select, Join: f.Join, Agg: f.Agg,
+		})
+	}
+	return specs
 }
 
 // loadTables pushes each scanned table's current rows into the
@@ -457,6 +486,7 @@ func (rt *Runtime) RegisterSensorStream(name string, kind sensornet.SensorKind, 
 		return err
 	}
 	rt.fed.Sensors.Kinds[lower(name)] = kind
+	rt.hosts.Add(name, rt.sensors)
 	if _, err := rt.Stream.Register(name, schema); err != nil {
 		return err
 	}

@@ -1011,6 +1011,7 @@ func All() []Table {
 	return []Table{
 		E1FederatedPartitioning(),
 		E2InNetworkJoin(),
+		E2RemoteFragment(),
 		E3JoinPlacement(),
 		E4InNetworkAgg(),
 		E5RouteLatency(),

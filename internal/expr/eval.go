@@ -30,6 +30,11 @@ func (c *Compiled) EvalBool(t data.Tuple) bool { return c.eval(t.Vals).AsBool() 
 // String renders the source expression.
 func (c *Compiled) String() string { return c.src.String() }
 
+// Source returns the expression this evaluator was bound from, so callers
+// that ship plans across processes (plan wire specs) can re-Bind it against
+// the same schema on the other side.
+func (c *Compiled) Source() Expr { return c.src }
+
 // Bind resolves column references in e against schema and type-checks it,
 // returning an evaluator.
 func Bind(e Expr, schema *data.Schema) (*Compiled, error) {

@@ -64,6 +64,11 @@ type Fragment struct {
 	DerivedName string
 	// Bindings lists the FROM bindings the fragment covers.
 	Bindings []string
+	// Sources lists the lowercased catalog source names behind those
+	// bindings — the physical sensor feeds the fragment reads. Locality
+	// placement routes shards to the workers hosting them, and shard-side
+	// fragment deployment requires every one in the host's registry.
+	Sources []string
 	// Schema of the derived stream.
 	Schema *data.Schema
 

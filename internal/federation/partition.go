@@ -99,6 +99,7 @@ func (f *Federator) buildAlternative(flat *sql.SelectStmt, conjuncts []expr.Expr
 				Kind:        FragShipAll,
 				DerivedName: src.Name,
 				Bindings:    []string{fi.Binding()},
+				Sources:     []string{strings.ToLower(src.Name)},
 				Schema:      src.Schema,
 				Select: &sensor.SelectQuery{
 					Rel: fi.Binding(), Sensor: s.kind, Period: period,
@@ -201,6 +202,7 @@ func (f *Federator) selectFragment(flat *sql.SelectStmt, conjuncts []expr.Expr,
 		Kind:        FragSelect,
 		DerivedName: derivedName(mask),
 		Bindings:    []string{binding},
+		Sources:     []string{strings.ToLower(fi.Name)},
 		Schema:      schema,
 		Select:      q,
 		Est:         est,
@@ -289,9 +291,13 @@ func (f *Federator) joinFragment(flat *sql.SelectStmt, conjuncts []expr.Expr,
 		Kind:        FragJoin,
 		DerivedName: derivedName(mask),
 		Bindings:    []string{bi, bj},
-		Schema:      joined,
-		Join:        q,
-		Est:         est,
+		Sources: []string{
+			strings.ToLower(flat.From[pushedIdx[0]].Name),
+			strings.ToLower(flat.From[pushedIdx[1]].Name),
+		},
+		Schema: joined,
+		Join:   q,
+		Est:    est,
 	}, used, ""
 }
 
@@ -391,6 +397,7 @@ func (f *Federator) PushedAggregate(stmt *sql.SelectStmt) (*Fragment, *plan.Buil
 		Kind:        FragAggregate,
 		DerivedName: "aspen_agg_" + strings.ToLower(binding),
 		Bindings:    []string{binding},
+		Sources:     []string{strings.ToLower(src.Name)},
 		Schema:      q.Schema(),
 		Agg:         q,
 		Est:         est,

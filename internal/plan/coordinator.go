@@ -218,6 +218,14 @@ func (c *Coordinator) Save() error {
 	sort.Strings(names)
 	for _, name := range names {
 		e := c.deps[name]
+		if len(e.dep.RemoteFragments) > 0 {
+			// Shard-hosted sensor fragments don't survive a coordinator
+			// restart (the documented contract for sensor work): their live
+			// engines and host registries aren't part of the durable state,
+			// so persisting the stream side alone would rehydrate a replica
+			// missing its fragment runners. Skip; re-run these queries.
+			continue
+		}
 		root, err := encodeNode(e.built.Root)
 		if err != nil {
 			return fmt.Errorf("plan: snapshot %q: %w", name, err)

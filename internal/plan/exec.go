@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"aspen/internal/expr"
 	"aspen/internal/sql"
 	"aspen/internal/stream"
+	"aspen/internal/vtime"
 )
 
 // TableHead is the pipeline entry point of one table scan; the deployer
@@ -46,14 +48,25 @@ type Deployment struct {
 	// that shards global aggregates and non-partitionable grouping keys).
 	TwoPhase bool
 	// Nodes records the worker topology the shards deployed over, as
-	// given in CompileOptions (empty = every replica in-process).
+	// given in CompileOptions — affinity annotations included (empty =
+	// every replica in-process).
 	Nodes []string
 	// Failover reports that lost workers redeploy from checkpoints (see
 	// CompileOptions.Failover); it is false when no replica left the
 	// process.
 	Failover bool
+	// RemoteFragments names the sensor-derived inputs whose fragments
+	// deployed inside the shard replicas (see CompileOptions.Fragments):
+	// the runtime must not start central epoch runners for them — each
+	// shard samples its partition where it runs.
+	RemoteFragments []string
 
 	set *stream.ShardSet
+	// scanSources lists the sources this plan's shards want to sit near —
+	// scanned inputs, with fragment-fed scans resolved to their raw sensor
+	// sources — so Rescale re-applies the same locality policy the compile
+	// used.
+	scanSources []string
 	// coordCks lists the coordinator-side stateful operators — serial
 	// pipeline (or two-phase spine) operators in compile order, then the
 	// materialized result — the deterministic sequence durable snapshots
@@ -130,11 +143,13 @@ func (d *Deployment) Close() {
 	})
 }
 
-// Rescale moves a live sharded deployment onto a new worker topology:
-// shard j lands on nodes[j%len(nodes)] (the CompileOptions.Nodes placement
-// rule), with "" keeping it in-process and an empty list pulling every
-// shard home. Moved shards carry their checkpointed operator state, so
-// results stay multiset-identical to serial across the move; untouched
+// Rescale moves a live sharded deployment onto a new worker topology,
+// re-applying the locality placement policy the compile used: shards
+// round-robin over the workers whose affinity annotations cover a scanned
+// source, falling back to all workers (the CompileOptions.Nodes placement
+// rule), with "" keeping a shard in-process and an empty list pulling
+// every shard home. Moved shards carry their checkpointed operator state,
+// so results stay multiset-identical to serial across the move; untouched
 // shards never stop serving. This is both elastic scale-out/in (workers
 // joining or leaving) and heal-back (re-homing shards a past failover
 // stranded in-process or piled onto a survivor). Serial deployments have
@@ -143,12 +158,8 @@ func (d *Deployment) Rescale(nodes []string) error {
 	if d.set == nil {
 		return fmt.Errorf("plan: Rescale on a serial deployment (no shards to move)")
 	}
-	loc := make([]string, d.Shards)
-	for j := range loc {
-		if len(nodes) > 0 {
-			loc[j] = nodes[j%len(nodes)]
-		}
-	}
+	addrs, affinity := ParseNodes(nodes)
+	loc := placeShards(d.Shards, addrs, affinity, d.scanSources)
 	if err := d.set.Rescale(loc); err != nil {
 		return err
 	}
@@ -164,6 +175,70 @@ func (d *Deployment) Placement() []string {
 		return nil
 	}
 	return d.set.Placement()
+}
+
+// ParseNodes splits a CompileOptions.Nodes list into plain worker
+// addresses and source affinities. Each entry is either a bare address
+// ("127.0.0.1:7001") or an annotated one ("127.0.0.1:7001=temperature,light")
+// declaring which raw sources that worker physically hosts. The returned
+// addrs keep the entry order (they are what gets dialed); affinity maps
+// each annotated address to its lowercased source list.
+func ParseNodes(nodes []string) (addrs []string, affinity map[string][]string) {
+	affinity = map[string][]string{}
+	addrs = make([]string, len(nodes))
+	for i, n := range nodes {
+		addr, srcs, ok := strings.Cut(n, "=")
+		addrs[i] = addr
+		if !ok || addr == "" {
+			continue
+		}
+		for _, s := range strings.Split(srcs, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				affinity[addr] = append(affinity[addr], strings.ToLower(s))
+			}
+		}
+	}
+	return addrs, affinity
+}
+
+// placeShards applies the locality policy: shards round-robin over the
+// workers whose affinity covers at least one of the plan's scanned sources
+// (in Nodes order), so a scan's partitions land where its data originates;
+// when no worker declares a matching affinity the placement degrades to
+// the load-balanced round-robin over every worker. An empty address list
+// keeps all shards in-process.
+func placeShards(p int, addrs []string, affinity map[string][]string, scanSources []string) []string {
+	loc := make([]string, p)
+	if len(addrs) == 0 {
+		return loc
+	}
+	pool := addrs
+	if affine := affineAddrs(addrs, affinity, scanSources); len(affine) > 0 {
+		pool = affine
+	}
+	for j := range loc {
+		loc[j] = pool[j%len(pool)]
+	}
+	return loc
+}
+
+// affineAddrs filters addrs to those whose affinity covers a scanned
+// source, preserving order.
+func affineAddrs(addrs []string, affinity map[string][]string, scanSources []string) []string {
+	want := make(map[string]bool, len(scanSources))
+	for _, s := range scanSources {
+		want[strings.ToLower(s)] = true
+	}
+	var out []string
+	for _, a := range addrs {
+		for _, s := range affinity[a] {
+			if want[s] {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // captureStates snapshots the deployment at one consistency point: the
@@ -199,12 +274,16 @@ type CompileOptions struct {
 	// analysis cannot prove partitionable (see shard.go) fall back to
 	// serial compilation silently — check Deployment.Shards.
 	Parallelism int
-	// Nodes distributes the replicas: shard j deploys to the shard worker
-	// at Nodes[j%len(Nodes)] (see plan.NewWorker / cmd/shardworker), with
-	// "" keeping that replica in-process. Empty means all in-process.
-	// Exchange routing, clock ticks, and Flush/Snapshot barriers span the
-	// worker connections, so results stay multiset-identical to serial
-	// execution wherever the replicas live.
+	// Nodes distributes the replicas over shard workers (see
+	// plan.NewWorker / cmd/shardworker). Entries are worker addresses,
+	// optionally annotated with the raw sources the worker physically
+	// hosts ("addr=temperature,light" — see ParseNodes). Placement is
+	// locality-aware: shards round-robin over the workers whose affinity
+	// covers a scanned source, falling back to round-robin over all
+	// workers ("" keeps a replica in-process; empty list means all
+	// in-process). Exchange routing, clock ticks, and Flush/Snapshot
+	// barriers span the worker connections, so results stay
+	// multiset-identical to serial execution wherever the replicas live.
 	//
 	// Naming workers without Parallelism >= 2 is a configuration error
 	// (the explicit machine list would be silently ignored). Plans the
@@ -230,6 +309,26 @@ type CompileOptions struct {
 	StallTimeout time.Duration
 	// OnFailover, when set, observes completed failovers (tests, ops).
 	OnFailover func(stream.FailoverEvent)
+	// Fragments lists the sensor fragments feeding this plan's derived
+	// inputs. The compile hosts each fragment inside the shard replicas —
+	// partitioned sampling next to the data — when the shard key is
+	// node-determined, epochs align with engine ticks, and every remote
+	// shard home declares affinity for the fragment's sources; fragments
+	// failing any condition stay central (the caller starts their epoch
+	// runners as before — check Deployment.RemoteFragments).
+	Fragments []SensorFragment
+	// SensorHosts registers the sensor engines this process hosts, so
+	// in-process shards (and failover's in-process last resort) can run
+	// fragment partitions locally. Required for fragments to leave the
+	// coordinator.
+	SensorHosts *SensorHosts
+	// TickPeriod is the engine's clock tick cadence; shard-hosted
+	// fragments must fire on tick instants (period a positive multiple,
+	// anchor aligned), so the compile needs it to decide eligibility.
+	TickPeriod time.Duration
+	// Now is the scheduler instant of this compile; fragment epochs anchor
+	// at Now+period, matching a central runner started now.
+	Now vtime.Time
 	// Sharing, when set, lets this compile share canonicalized plan
 	// prefixes — the scan, its window, and any stack of selections over
 	// one non-table source — with every other deployment compiled against
@@ -410,22 +509,93 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 		}
 	}
 
-	// Place shard j on nodes[j%len(nodes)]; "" keeps it in-process. A
-	// rehydrating compile instead pins the placement the snapshot captured.
-	loc := make([]string, p)
-	anyRemote := false
-	for j := range loc {
-		if len(nodes) > 0 {
-			loc[j] = nodes[j%len(nodes)]
+	scans := Scans(parRoot)
+	// Resolve what each scan reads: its input, or — for fragment-fed
+	// derived inputs — the raw sensor sources behind the fragment. This
+	// drives locality placement now and again at Rescale.
+	fragFor := map[*Scan]*SensorFragment{}
+	for i := range opts.Fragments {
+		f := &opts.Fragments[i]
+		for _, sc := range scans {
+			if strings.EqualFold(sc.Input, f.Name) {
+				fragFor[sc] = f
+			}
 		}
 	}
+	var scanSrcs []string
+	for _, sc := range scans {
+		if f := fragFor[sc]; f != nil {
+			scanSrcs = append(scanSrcs, f.Sources...)
+		} else if !sc.IsTable {
+			scanSrcs = append(scanSrcs, strings.ToLower(sc.Input))
+		}
+	}
+	dep.scanSources = scanSrcs
+
+	// Locality-aware placement: shards land on the workers hosting the
+	// plan's sources, load-balanced over all workers otherwise ("" keeps a
+	// shard in-process). A rehydrating compile instead pins the placement
+	// the snapshot captured.
+	addrs, affinity := ParseNodes(nodes)
+	loc := placeShards(p, addrs, affinity, scanSrcs)
 	if len(opts.restoreLoc) == p {
 		copy(loc, opts.restoreLoc)
 	}
+	anyRemote := false
 	for j := range loc {
 		anyRemote = anyRemote || loc[j] != ""
 	}
-	scans := Scans(parRoot)
+
+	// Decide, per fragment, whether it deploys inside the shard replicas:
+	// the shard key must be node-determined (sampling partitions by it),
+	// epochs must land on tick instants, the coordinator must host the
+	// sources (in-process shards, failover's local last resort), and every
+	// remote shard home must declare affinity for them. Anything else
+	// stays a central runner.
+	var wireFrags []wireFragment
+	if anyRemote {
+		for _, sc := range scans {
+			f := fragFor[sc]
+			if f == nil {
+				continue
+			}
+			keyIdx, ok := fragmentKeyIdx(f, sc, strat.Keys[sc])
+			if !ok || !alignedWithTicks(f.period(), opts.TickPeriod, opts.Now) {
+				continue
+			}
+			hosted := opts.SensorHosts != nil
+			for _, src := range f.Sources {
+				if _, ok := opts.SensorHosts.Engine(src); !ok {
+					hosted = false
+				}
+			}
+			for j := range loc {
+				if loc[j] == "" {
+					continue
+				}
+				have := make(map[string]bool, len(affinity[loc[j]]))
+				for _, s := range affinity[loc[j]] {
+					have[s] = true
+				}
+				for _, src := range f.Sources {
+					if !have[strings.ToLower(src)] {
+						hosted = false
+					}
+				}
+			}
+			if !hosted {
+				continue
+			}
+			i := scanIndex(scans, sc)
+			wf, err := encodeFragment(f, scanName(i), keyIdx, p, opts.Now.Add(f.period()))
+			if err != nil {
+				return nil, err
+			}
+			wireFrags = append(wireFrags, wf)
+			dep.RemoteFragments = append(dep.RemoteFragments, f.Name)
+		}
+	}
+
 	heads := make(map[*Scan][]stream.Operator, len(scans))
 	for _, sc := range scans {
 		heads[sc] = make([]stream.Operator, p)
@@ -446,15 +616,15 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 	// (checkpointed redeploy on worker loss); without it the elastic arming
 	// is planned-moves-only — worker loss stays fail-stop and the hot path
 	// pays nothing.
-	spec, err := encodeReplica(parRoot, strat.Split)
+	spec, err := encodeReplica(parRoot, strat.Split, wireFrags)
 	if err != nil {
 		return nil, err
 	}
 	fcfg := stream.FailoverConfig{
 		Spec:            spec,
-		Nodes:           nodes,
+		Nodes:           addrs,
 		Sink:            merge,
-		LocalDeploy:     DeployReplica,
+		LocalDeploy:     opts.SensorHosts.DeployReplica,
 		CheckpointEvery: opts.CheckpointEvery,
 		StallTimeout:    opts.StallTimeout,
 		OnFailover:      opts.OnFailover,
@@ -499,6 +669,22 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 			}
 			if err := c.compile(parRoot, out); err != nil {
 				return fail(err)
+			}
+			// In-process shards host their slice of the sensor fragments
+			// too, mirroring a worker's DeployReplica: runners ride the
+			// shard's advancer queue and extend the checkpointer list in
+			// spec order, keeping checkpoints portable across placements.
+			localHeads := map[string]stream.Operator{}
+			for i, sc := range scans {
+				localHeads[scanName(i)] = heads[sc][shard]
+			}
+			runners, err := opts.SensorHosts.buildFragRunners(wireFrags, shard, localHeads)
+			if err != nil {
+				return fail(err)
+			}
+			for _, r := range runners {
+				set.Track(shard, r)
+				cks = append(cks, r)
 			}
 			if st := opts.restoreShards[j]; st != nil {
 				if err := stream.RestoreCheckpoint(cks, st); err != nil {

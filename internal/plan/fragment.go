@@ -1,0 +1,477 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"time"
+
+	"aspen/internal/data"
+	"aspen/internal/expr"
+	"aspen/internal/sensor"
+	"aspen/internal/sensornet"
+	"aspen/internal/stream"
+	"aspen/internal/vtime"
+)
+
+// This file makes sensor fragments first-class distributed subplans: the
+// federated optimizer's in-network select/join/aggregate fragments, which
+// until now always ran on the coordinator's sensor engine, can ship inside
+// a replica's wire spec and execute on the shard worker that physically
+// hosts the sensor source. Each shard's replica runs a *partitioned* epoch
+// fragment — it samples only the motes (or mote pairs) whose partition-key
+// hash routes to that shard, exactly mirroring the coordinator Sharder's
+// hash (data.Hasher.HashOn % P) — so the shards' delivered multisets union
+// to the central run's and no exchange hop is needed: epoch batches feed
+// the co-resident replica heads directly.
+//
+// Fragment runners implement stream.Advancer (epochs catch up at tick
+// barriers, after windows advance — the same advance-then-epoch order the
+// serial scheduler's FIFO produces at shared instants) and
+// stream.Checkpointer (the next-epoch anchor plus adaptive join placement
+// stats ride shard checkpoints), so failover, rescale, and coordinator
+// snapshots of the *stream* state stay exact: a re-deployed replica
+// regenerates exactly the epochs after its restored anchor, which the
+// failover undo already retracted downstream.
+
+// SensorFragment describes one sensor fragment feeding a plan's derived
+// input, for CompileOptions.Fragments: the compile decides per fragment
+// whether it can deploy inside the shard replicas (partition-aligned keys,
+// epoch/tick alignment, every shard home hosting the sources) or must stay
+// a central runner on the coordinator.
+type SensorFragment struct {
+	// Name is the derived stream-engine input the fragment feeds (the
+	// scan.Input of the plan scan it covers).
+	Name string
+	// Sources lists the raw catalog sensor sources the fragment reads
+	// (lowercased); locality placement routes shards to workers hosting
+	// them, and a worker can only host the fragment if its SensorHosts
+	// registry carries every one.
+	Sources []string
+
+	// Exactly one of the queries is set, mirroring federation.Fragment.
+	Select *sensor.SelectQuery
+	Join   *sensor.JoinQuery
+	Agg    *sensor.AggregateQuery
+}
+
+// period returns the fragment's effective epoch period (the sensor
+// engine's 1s default applies).
+func (f *SensorFragment) period() time.Duration {
+	var p time.Duration
+	switch {
+	case f.Select != nil:
+		p = f.Select.Period
+	case f.Join != nil:
+		p = f.Join.Period
+	case f.Agg != nil:
+		p = f.Agg.Period
+	}
+	if p <= 0 {
+		p = time.Second
+	}
+	return p
+}
+
+// fragKind discriminates wire fragments.
+type fragKind uint8
+
+const (
+	fragSelect fragKind = iota
+	fragJoin
+	fragAggregate
+)
+
+// wireFragment is the gob mirror of one shard-hosted sensor fragment.
+// Predicates travel as raw expressions (expr.Compiled closures cannot
+// cross processes) and re-Bind against the reading schemas worker-side.
+type wireFragment struct {
+	Kind    fragKind
+	Scan    string   // wire name of the scan head the epochs feed
+	Sources []string // SensorHosts registry keys the host must carry
+	Period  time.Duration
+	StartAt vtime.Time // first epoch instant (anchor; checkpoints override)
+	KeyIdx  []int      // partition key columns of the fragment output schema
+	P       int        // shard count the key hashes over
+
+	// fragSelect and the left side of fragJoin.
+	Rel    string
+	Sensor sensornet.SensorKind
+	Pred   expr.Expr
+
+	// fragJoin.
+	RRel      string
+	RSensor   sensornet.SensorKind
+	RPred     expr.Expr
+	On        expr.Expr
+	PairBy    sensor.PairBy
+	Radius    float64
+	Placement sensor.Placement
+
+	// fragAggregate.
+	AggFunc     sensor.AggFunc
+	GroupByRoom bool
+	Mode        sensor.AggMode
+}
+
+// exprSource unwraps a compiled predicate to its raw expression (nil-safe).
+func exprSource(c *expr.Compiled) expr.Expr {
+	if c == nil {
+		return nil
+	}
+	return c.Source()
+}
+
+// encodeFragment lowers one eligible fragment to its wire mirror.
+func encodeFragment(f *SensorFragment, scan string, keyIdx []int, p int, startAt vtime.Time) (wireFragment, error) {
+	w := wireFragment{
+		Scan: scan, Sources: f.Sources, Period: f.period(),
+		StartAt: startAt, KeyIdx: keyIdx, P: p,
+	}
+	switch {
+	case f.Select != nil:
+		q := f.Select
+		w.Kind, w.Rel, w.Sensor, w.Pred = fragSelect, q.Rel, q.Sensor, exprSource(q.Pred)
+	case f.Join != nil:
+		q := f.Join
+		w.Kind, w.PairBy, w.Radius, w.Placement = fragJoin, q.PairBy, q.Radius, q.Placement
+		w.Rel, w.Sensor, w.Pred = q.Left.Rel, q.Left.Sensor, exprSource(q.Left.Pred)
+		w.RRel, w.RSensor, w.RPred = q.Right.Rel, q.Right.Sensor, exprSource(q.Right.Pred)
+		w.On = exprSource(q.On)
+	case f.Agg != nil:
+		q := f.Agg
+		w.Kind, w.Rel, w.Sensor, w.Pred = fragAggregate, q.Rel, q.Sensor, exprSource(q.Pred)
+		w.AggFunc, w.GroupByRoom, w.Mode = q.Func, q.GroupByRoom, q.Mode
+	default:
+		return wireFragment{}, fmt.Errorf("plan: fragment %s has no query", f.Name)
+	}
+	return w, nil
+}
+
+// bindPred re-binds a raw wire predicate against a schema ("" = none).
+func bindPred(e expr.Expr, schema *data.Schema) (*expr.Compiled, error) {
+	if e == nil {
+		return nil, nil
+	}
+	return expr.Bind(e, schema)
+}
+
+// SensorHosts registers the sensor engines a process hosts, keyed by
+// lowercased raw source name. A shard worker built with NewSensorWorker
+// consults it when a deploy spec carries sensor fragments; the coordinator
+// passes its own registry through CompileOptions.SensorHosts so in-process
+// shards (and failover's local last resort) host fragments the same way.
+// A nil *SensorHosts is a valid empty registry.
+type SensorHosts struct {
+	m map[string]*sensor.Engine
+}
+
+// NewSensorHosts creates an empty registry.
+func NewSensorHosts() *SensorHosts { return &SensorHosts{m: map[string]*sensor.Engine{}} }
+
+// Add registers an engine as the host of source (case-insensitive).
+func (h *SensorHosts) Add(source string, e *sensor.Engine) {
+	h.m[strings.ToLower(source)] = e
+}
+
+// Engine returns the engine hosting source, if any. Nil-receiver-safe.
+func (h *SensorHosts) Engine(source string) (*sensor.Engine, bool) {
+	if h == nil {
+		return nil, false
+	}
+	e, ok := h.m[strings.ToLower(source)]
+	return e, ok
+}
+
+// Sources lists the registered source names (unordered).
+func (h *SensorHosts) Sources() []string {
+	if h == nil {
+		return nil
+	}
+	out := make([]string, 0, len(h.m))
+	for k := range h.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// engineFor resolves the single engine hosting every source of a wire
+// fragment.
+func (h *SensorHosts) engineFor(w *wireFragment) (*sensor.Engine, error) {
+	var eng *sensor.Engine
+	for _, src := range w.Sources {
+		e, ok := h.Engine(src)
+		if !ok {
+			return nil, fmt.Errorf("plan: this host has no sensor source %q", src)
+		}
+		if eng != nil && e != eng {
+			return nil, fmt.Errorf("plan: fragment sources %v span different sensor engines", w.Sources)
+		}
+		eng = e
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("plan: fragment %s names no sources", w.Scan)
+	}
+	return eng, nil
+}
+
+// fragRunner executes one shard's partition of a sensor fragment. It is
+// driven by the replica's tick path (worker frame loop or local shard
+// goroutine) after the windows advance, so epoch batches enter the heads
+// under the same single-writer discipline as exchanged data.
+type fragRunner struct {
+	head   stream.Operator
+	period time.Duration
+	next   vtime.Time
+	run    func(now vtime.Time, deliver sensor.Sink)
+	// joinState is set for join fragments: its adaptive placement stats
+	// ride this runner's checkpoints.
+	joinState *sensor.JoinState
+	buf       []data.Tuple
+}
+
+// Advance implements stream.Advancer: catch epochs up to now. Epoch
+// instants coincide with tick instants (compile-side eligibility), so the
+// runner fires at most once per tick in steady state; after a failover
+// restore it regenerates every epoch since the checkpoint anchor — exactly
+// the deliveries the coordinator's undo log retracted.
+func (r *fragRunner) Advance(now vtime.Time) {
+	for r.next <= now {
+		at := r.next
+		r.run(at, func(t data.Tuple) { r.buf = append(r.buf, t) })
+		r.next = r.next.Add(r.period)
+		if len(r.buf) > 0 {
+			stream.PushBatch(r.head, r.buf)
+			clear(r.buf)
+			r.buf = r.buf[:0]
+		}
+	}
+}
+
+// fragCkState is the gob body of a fragment runner checkpoint.
+type fragCkState struct {
+	Next  vtime.Time
+	Stats []sensor.PairStatsSnapshot
+}
+
+// CheckpointState implements stream.Checkpointer.
+func (r *fragRunner) CheckpointState() stream.OpState {
+	st := fragCkState{Next: r.next}
+	if r.joinState != nil {
+		st.Stats = r.joinState.SnapshotStats()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		// gob of plain values cannot fail; keep the Checkpointer contract
+		// total anyway.
+		return stream.NewOpaqueState(nil)
+	}
+	return stream.NewOpaqueState(buf.Bytes())
+}
+
+// RestoreState implements stream.Checkpointer.
+func (r *fragRunner) RestoreState(s stream.OpState) error {
+	b, err := s.OpaqueData()
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	var st fragCkState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return fmt.Errorf("plan: decode fragment checkpoint: %w", err)
+	}
+	r.next = st.Next
+	if r.joinState != nil {
+		r.joinState.RestoreStats(st.Stats)
+	}
+	return nil
+}
+
+// shardKeep builds the node filter of one shard's partition: hash the
+// node-determined key columns of the fragment's output schema exactly as
+// the coordinator's Sharder hashes delivered tuples. Unused value slots
+// stay zero — HashOn folds only the KeyIdx positions.
+func shardKeep(w *wireFragment, shard int) sensor.NodeFilter {
+	var h data.Hasher
+	p := uint64(w.P)
+	if w.Kind == fragAggregate {
+		// Output schema (room, value): the only node-determined key is room.
+		vals := make([]data.Value, 2)
+		return func(n sensornet.Node) bool {
+			vals[0] = data.Str(n.Room)
+			return int(h.HashOn(data.Tuple{Vals: vals}, w.KeyIdx)%p) == shard
+		}
+	}
+	// Output schema (mote, room, desk, value).
+	vals := make([]data.Value, 4)
+	return func(n sensornet.Node) bool {
+		vals[0] = data.Int(int64(n.ID))
+		vals[1] = data.Str(n.Room)
+		vals[2] = data.Int(int64(n.Desk))
+		return int(h.HashOn(data.Tuple{Vals: vals}, w.KeyIdx)%p) == shard
+	}
+}
+
+// shardKeepPair is shardKeep over the concatenated join schema
+// (mote,room,desk,value) × 2.
+func shardKeepPair(w *wireFragment, shard int) sensor.PairFilter {
+	var h data.Hasher
+	p := uint64(w.P)
+	vals := make([]data.Value, 8)
+	return func(l, r sensornet.Node) bool {
+		vals[0] = data.Int(int64(l.ID))
+		vals[1] = data.Str(l.Room)
+		vals[2] = data.Int(int64(l.Desk))
+		vals[4] = data.Int(int64(r.ID))
+		vals[5] = data.Str(r.Room)
+		vals[6] = data.Int(int64(r.Desk))
+		return int(h.HashOn(data.Tuple{Vals: vals}, w.KeyIdx)%p) == shard
+	}
+}
+
+// newFragRunner rebuilds one wire fragment's query on this host's engine
+// and binds its shard partition to the given replica head.
+func (h *SensorHosts) newFragRunner(w *wireFragment, shard int, head stream.Operator) (*fragRunner, error) {
+	eng, err := h.engineFor(w)
+	if err != nil {
+		return nil, err
+	}
+	r := &fragRunner{head: head, period: w.Period, next: w.StartAt}
+	switch w.Kind {
+	case fragSelect:
+		pred, err := bindPred(w.Pred, sensor.ReadingSchema(w.Rel))
+		if err != nil {
+			return nil, err
+		}
+		q := &sensor.SelectQuery{Rel: w.Rel, Sensor: w.Sensor, Pred: pred, Period: w.Period}
+		keep := shardKeep(w, shard)
+		r.run = func(now vtime.Time, deliver sensor.Sink) {
+			eng.RunSelectEpochPart(q, now, keep, deliver)
+		}
+	case fragAggregate:
+		pred, err := bindPred(w.Pred, sensor.ReadingSchema(w.Rel))
+		if err != nil {
+			return nil, err
+		}
+		q := &sensor.AggregateQuery{Rel: w.Rel, Sensor: w.Sensor, Pred: pred,
+			Func: w.AggFunc, GroupByRoom: w.GroupByRoom, Mode: w.Mode, Period: w.Period}
+		keep := shardKeep(w, shard)
+		r.run = func(now vtime.Time, deliver sensor.Sink) {
+			eng.RunAggregateEpochPart(q, now, keep, deliver)
+		}
+	case fragJoin:
+		lPred, err := bindPred(w.Pred, sensor.ReadingSchema(w.Rel))
+		if err != nil {
+			return nil, err
+		}
+		rPred, err := bindPred(w.RPred, sensor.ReadingSchema(w.RRel))
+		if err != nil {
+			return nil, err
+		}
+		q := &sensor.JoinQuery{
+			Left:   sensor.JoinSide{Rel: w.Rel, Sensor: w.Sensor, Pred: lPred},
+			Right:  sensor.JoinSide{Rel: w.RRel, Sensor: w.RSensor, Pred: rPred},
+			PairBy: w.PairBy, Radius: w.Radius, Placement: w.Placement, Period: w.Period,
+		}
+		if q.On, err = bindPred(w.On, q.Schema()); err != nil {
+			return nil, err
+		}
+		st, err := eng.PlanJoinPart(q, shardKeepPair(w, shard))
+		if err != nil {
+			return nil, err
+		}
+		r.joinState = st
+		r.run = func(now vtime.Time, deliver sensor.Sink) {
+			eng.RunJoinEpoch(st, now, deliver)
+		}
+	default:
+		return nil, fmt.Errorf("plan: unknown fragment kind %d", w.Kind)
+	}
+	return r, nil
+}
+
+// buildFragRunners instantiates every wire fragment of a replica for one
+// shard, resolving each fragment's scan head by wire name. The returned
+// runners append to the replica's advancers (after the windows — epochs
+// run after the windows advance, matching the serial scheduler's FIFO
+// order at shared instants) and to its checkpointers (after the compile
+// order, identically on every host of the same spec).
+func (h *SensorHosts) buildFragRunners(frags []wireFragment, shard int, heads map[string]stream.Operator) ([]*fragRunner, error) {
+	var runners []*fragRunner
+	for i := range frags {
+		w := &frags[i]
+		head, ok := heads[w.Scan]
+		if !ok {
+			return nil, fmt.Errorf("plan: fragment names unknown scan %s", w.Scan)
+		}
+		r, err := h.newFragRunner(w, shard, head)
+		if err != nil {
+			return nil, err
+		}
+		runners = append(runners, r)
+	}
+	return runners, nil
+}
+
+// scanIndex is the plan-walk position of sc — the i of its scanName(i).
+func scanIndex(scans []*Scan, sc *Scan) int {
+	for i, s := range scans {
+		if s == sc {
+			return i
+		}
+	}
+	return -1
+}
+
+// fragKeyEligible reports, per fragment kind, whether an output-schema
+// column is node-determined — known at sampling time from the mote alone,
+// before any reading — and therefore usable as a sampling partition key.
+func fragKeyEligible(f *SensorFragment, idx int) bool {
+	switch {
+	case f.Select != nil:
+		return idx <= 2 // (mote, room, desk) of (mote, room, desk, value)
+	case f.Join != nil:
+		return idx != 3 && idx != 7 // both sides' (mote, room, desk)
+	case f.Agg != nil:
+		return f.Agg.GroupByRoom && idx == 0 // (room) of (room, value)
+	}
+	return false
+}
+
+// fragmentKeyIdx resolves the shard-key columns of the scan a fragment
+// feeds to output-schema indexes, reporting whether the fragment's
+// sampling can be partitioned on them: every key must be a bare column the
+// mote determines before sampling. Value-dependent or expression keys keep
+// the fragment central.
+func fragmentKeyIdx(f *SensorFragment, sc *Scan, keys []expr.Expr) ([]int, bool) {
+	if len(keys) == 0 {
+		return nil, false // nil = all columns (value included): not node-determined
+	}
+	idxs := make([]int, 0, len(keys))
+	for _, k := range keys {
+		col, ok := k.(expr.Col)
+		if !ok {
+			return nil, false
+		}
+		i, err := sc.Schema().ColIndex(col.Ref)
+		if err != nil || !fragKeyEligible(f, i) {
+			return nil, false
+		}
+		idxs = append(idxs, i)
+	}
+	return idxs, true
+}
+
+// alignedWithTicks reports whether epochs anchored at now+period land
+// exactly on engine tick instants — the condition under which the worker's
+// advance-then-epoch order at tick barriers reproduces the serial
+// scheduler's FIFO order, keeping the distributed run multiset-identical.
+func alignedWithTicks(period, tick time.Duration, now vtime.Time) bool {
+	if tick <= 0 || period <= 0 {
+		return false
+	}
+	return period%tick == 0 && int64(now)%int64(tick) == 0
+}

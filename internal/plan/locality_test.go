@@ -1,0 +1,68 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseNodes(t *testing.T) {
+	addrs, aff := ParseNodes([]string{
+		"127.0.0.1:7001=Light, Temperature",
+		"127.0.0.1:7002",
+		"127.0.0.1:7003=light",
+		"",
+	})
+	wantAddrs := []string{"127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003", ""}
+	if !reflect.DeepEqual(addrs, wantAddrs) {
+		t.Fatalf("addrs = %v, want %v", addrs, wantAddrs)
+	}
+	if got := aff["127.0.0.1:7001"]; !reflect.DeepEqual(got, []string{"light", "temperature"}) {
+		t.Fatalf("affinity[7001] = %v (sources must lowercase and trim)", got)
+	}
+	if got := aff["127.0.0.1:7003"]; !reflect.DeepEqual(got, []string{"light"}) {
+		t.Fatalf("affinity[7003] = %v", got)
+	}
+	if _, ok := aff["127.0.0.1:7002"]; ok {
+		t.Fatal("bare address must carry no affinity")
+	}
+}
+
+func TestPlaceShardsHonorsAffinity(t *testing.T) {
+	addrs := []string{"a:1", "b:1", "c:1"}
+	aff := map[string][]string{"b:1": {"light"}, "c:1": {"light", "temperature"}}
+	// Only b and c host light: all four shards round-robin over them.
+	loc := placeShards(4, addrs, aff, []string{"light"})
+	want := []string{"b:1", "c:1", "b:1", "c:1"}
+	if !reflect.DeepEqual(loc, want) {
+		t.Fatalf("loc = %v, want %v", loc, want)
+	}
+}
+
+func TestPlaceShardsFallsBackWithoutAffineWorkers(t *testing.T) {
+	addrs := []string{"a:1", "b:1"}
+	aff := map[string][]string{"a:1": {"temperature"}}
+	// No worker hosts the scanned source: load-balance over everyone.
+	loc := placeShards(4, addrs, aff, []string{"light"})
+	want := []string{"a:1", "b:1", "a:1", "b:1"}
+	if !reflect.DeepEqual(loc, want) {
+		t.Fatalf("loc = %v, want %v", loc, want)
+	}
+}
+
+func TestPlaceShardsMultiSourceUnion(t *testing.T) {
+	addrs := []string{"a:1", "b:1", "c:1"}
+	aff := map[string][]string{"a:1": {"light"}, "c:1": {"pdu"}}
+	// A plan scanning light and pdu prefers the union of their hosts.
+	loc := placeShards(3, addrs, aff, []string{"light", "pdu"})
+	want := []string{"a:1", "c:1", "a:1"}
+	if !reflect.DeepEqual(loc, want) {
+		t.Fatalf("loc = %v, want %v", loc, want)
+	}
+}
+
+func TestPlaceShardsEmptyNodesStayLocal(t *testing.T) {
+	loc := placeShards(3, nil, nil, []string{"light"})
+	if !reflect.DeepEqual(loc, []string{"", "", ""}) {
+		t.Fatalf("loc = %v, want all in-process", loc)
+	}
+}

@@ -79,10 +79,14 @@ type wirePartial struct {
 	Specs   []stream.AggSpec
 }
 
-// wireReplica is one deployable replica spec.
+// wireReplica is one deployable replica spec. Fragments, when present,
+// are the sensor epoch fragments each shard hosts next to its replica
+// (see fragment.go) — the deploying worker must carry their sources in
+// its SensorHosts registry.
 type wireReplica struct {
-	Root    wireNode
-	Partial *wirePartial
+	Root      wireNode
+	Partial   *wirePartial
+	Fragments []wireFragment
 }
 
 // encodeNode lowers a plan subtree to its wire mirror.
@@ -189,13 +193,13 @@ func decodeNode(w wireNode) (Node, error) {
 }
 
 // encodeReplica serializes the replica subtree (with its optional two-phase
-// cap) for shipment to a shard worker.
-func encodeReplica(root Node, split *Aggregate) ([]byte, error) {
+// cap and shard-hosted sensor fragments) for shipment to a shard worker.
+func encodeReplica(root Node, split *Aggregate, frags []wireFragment) ([]byte, error) {
 	w, err := encodeNode(root)
 	if err != nil {
 		return nil, err
 	}
-	rep := wireReplica{Root: w}
+	rep := wireReplica{Root: w, Fragments: frags}
 	if split != nil {
 		rep.Partial = &wirePartial{GroupBy: split.GroupBy, Specs: split.Specs}
 	}
@@ -230,15 +234,20 @@ func (r *resultSink) PushBatch(ts []data.Tuple) { _ = r.send(ts) }
 // DeployReplica is the stream.DeployFunc of a shard worker: it decodes a
 // wire replica spec, compiles the subtree's operators (capped by a
 // PartialAggregate for two-phase plans) with results shipping back through
-// send, optionally restores a failover checkpoint into them, and returns
-// the scan heads, replica windows, and stateful operators for the worker's
-// frame loop to feed, tick, and checkpoint.
+// send, instantiates any shard-hosted sensor fragments against the
+// receiver's SensorHosts registry, optionally restores a failover
+// checkpoint into them, and returns the scan heads, replica advancers
+// (windows first, then fragment runners), and stateful operators for the
+// worker's frame loop to feed, tick, and checkpoint.
 //
 // The checkpointer order is deterministic — the two-phase cap first, then
 // the stateful operators in compile (depth-first) order over the decoded
-// tree — so a checkpoint taken from one deployment of the spec restores
-// into any other, in any process.
-func DeployReplica(spec []byte, shard int, state []byte, send stream.ResultSender) (map[string]stream.Operator, []stream.Advancer, []stream.Checkpointer, error) {
+// tree, then the fragment runners in wire order — so a checkpoint taken
+// from one deployment of the spec restores into any other, in any process.
+//
+// The receiver may be nil: an empty registry, rejecting any spec that
+// carries sensor fragments (fragment-free specs deploy as before).
+func (h *SensorHosts) DeployReplica(spec []byte, shard int, state []byte, send stream.ResultSender) (map[string]stream.Operator, []stream.Advancer, []stream.Checkpointer, error) {
 	var rep wireReplica
 	if err := gob.NewDecoder(bytes.NewReader(spec)).Decode(&rep); err != nil {
 		return nil, nil, nil, fmt.Errorf("plan: decode replica spec: %w", err)
@@ -282,15 +291,40 @@ func DeployReplica(spec []byte, shard int, state []byte, send stream.ResultSende
 	if err := c.compile(root, out); err != nil {
 		return nil, nil, nil, err
 	}
+	runners, err := h.buildFragRunners(rep.Fragments, shard, heads)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, r := range runners {
+		advs = append(advs, r)
+		cks = append(cks, r)
+	}
 	if err := stream.RestoreCheckpoint(cks, state); err != nil {
 		return nil, nil, nil, err
 	}
 	return heads, advs, cks, nil
 }
 
+// DeployReplica is the fragment-free stream.DeployFunc (an empty host
+// registry); kept as the package-level entry point for callers that never
+// host sensor fragments.
+func DeployReplica(spec []byte, shard int, state []byte, send stream.ResultSender) (map[string]stream.Operator, []stream.Advancer, []stream.Checkpointer, error) {
+	return (*SensorHosts)(nil).DeployReplica(spec, shard, state, send)
+}
+
 // NewWorker starts a shard worker hosting remote plan replicas on addr —
 // the process-level entry point cmd/shardworker and the multi-node tests
-// build on.
+// build on. Workers built this way host no sensor sources; see
+// NewSensorWorker.
 func NewWorker(addr string) (*stream.ShardWorker, error) {
-	return stream.NewShardWorker(addr, DeployReplica)
+	return NewSensorWorker(addr, nil)
+}
+
+// NewSensorWorker starts a shard worker that additionally hosts the sensor
+// sources registered in hosts: deploy specs carrying sensor fragments over
+// those sources run their partitioned epochs inside this worker, feeding
+// the co-resident shard replicas directly (the paper's in-network
+// execution, at the worker holding the motes).
+func NewSensorWorker(addr string, hosts *SensorHosts) (*stream.ShardWorker, error) {
+	return stream.NewShardWorker(addr, hosts.DeployReplica)
 }

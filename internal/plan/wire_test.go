@@ -47,7 +47,7 @@ func wireTestPlan(t *testing.T) Node {
 // same rows as a locally compiled one.
 func TestWireReplicaRoundtrip(t *testing.T) {
 	root := wireTestPlan(t)
-	spec, err := encodeReplica(root, nil)
+	spec, err := encodeReplica(root, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestWireReplicaTwoPhase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec, err := encodeReplica(scan, agg)
+	spec, err := encodeReplica(scan, agg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,10 +150,10 @@ type fakeNode struct{ Distinct }
 func TestWireEncodeUnknownNode(t *testing.T) {
 	s1 := data.NewSchema("S1", data.Col("a", data.TInt))
 	inner := NewScan("S1", "t", s1, nil, 1, false)
-	if _, err := encodeReplica(&fakeNode{Distinct{In: inner}}, nil); err == nil {
+	if _, err := encodeReplica(&fakeNode{Distinct{In: inner}}, nil, nil); err == nil {
 		t.Fatal("unknown node kind must fail to encode")
 	}
-	if _, err := encodeReplica(&Select{In: &fakeNode{Distinct{In: inner}}}, nil); err == nil {
+	if _, err := encodeReplica(&Select{In: &fakeNode{Distinct{In: inner}}}, nil, nil); err == nil {
 		t.Fatal("unknown child must fail to encode")
 	}
 }

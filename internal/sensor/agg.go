@@ -144,16 +144,28 @@ func (p *psr) final(f AggFunc) (float64, bool) {
 // RunAggregateEpoch executes one epoch, delivering one tuple per group to
 // sink. Returns the number of groups delivered.
 func (e *Engine) RunAggregateEpoch(q *AggregateQuery, now vtime.Time, sink Sink) int {
+	return e.RunAggregateEpochPart(q, now, nil, sink)
+}
+
+// RunAggregateEpochPart is RunAggregateEpoch sampling only the nodes keep
+// admits (nil keeps all). The filter gates each node's *own sample* — tree
+// routing and PSR merging are untouched, and a node contributing nothing
+// suppresses its message exactly like an empty group — so a run
+// partitioned on the grouping key delivers each admitted group bit-equal
+// to the unpartitioned run. It locks the engine (see RunSelectEpochPart).
+func (e *Engine) RunAggregateEpochPart(q *AggregateQuery, now vtime.Time, keep NodeFilter, sink Sink) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if q.Mode == AggCentralized {
-		return e.runAggCentral(q, now, sink)
+		return e.runAggCentral(q, now, keep, sink)
 	}
-	return e.runAggTAG(q, now, sink)
+	return e.runAggTAG(q, now, keep, sink)
 }
 
 // runAggTAG merges PSRs up the collection tree: process nodes deepest
 // first; each non-base node sends its merged group map to its parent in a
 // single message whose frame count is the number of groups carried.
-func (e *Engine) runAggTAG(q *AggregateQuery, now vtime.Time, sink Sink) int {
+func (e *Engine) runAggTAG(q *AggregateQuery, now vtime.Time, keep NodeFilter, sink Sink) int {
 	nodes := e.net.Nodes()
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Hops > nodes[j].Hops })
 	base := e.net.Base()
@@ -176,7 +188,9 @@ func (e *Engine) runAggTAG(q *AggregateQuery, now vtime.Time, sink Sink) int {
 			groups = map[string]psr{}
 		}
 		// own sample (scratch-backed: consumed before the next node samples)
-		if t, ok := e.sampleInto(scratch, n, q.Sensor, now); ok {
+		if keep != nil && !keep(n) {
+			// excluded from this partition: still relays children's PSRs
+		} else if t, ok := e.sampleInto(scratch, n, q.Sensor, now); ok {
 			scratch = t.Vals[:0]
 			if q.Pred == nil || q.Pred.EvalBool(t) {
 				g := groups[groupOf(n)]
@@ -211,11 +225,14 @@ func (e *Engine) runAggTAG(q *AggregateQuery, now vtime.Time, sink Sink) int {
 }
 
 // runAggCentral ships raw readings to the base and aggregates there.
-func (e *Engine) runAggCentral(q *AggregateQuery, now vtime.Time, sink Sink) int {
+func (e *Engine) runAggCentral(q *AggregateQuery, now vtime.Time, keep NodeFilter, sink Sink) int {
 	base := e.net.Base()
 	groups := map[string]psr{}
 	scratch := make([]data.Value, 0, 4)
 	for _, n := range e.net.Nodes() {
+		if keep != nil && !keep(n) {
+			continue
+		}
 		t, ok := e.sampleInto(scratch, n, q.Sensor, now)
 		if !ok {
 			continue

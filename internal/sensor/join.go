@@ -127,9 +127,21 @@ type JoinState struct {
 	Decisions map[Placement]int
 }
 
+// PairFilter restricts a join plan to a subset of pairs. Partitioned
+// fragment execution admits each pair on exactly one shard, so the shards'
+// delivered multisets union to the full plan's (pairs partition
+// disjointly; radio accounting is per pair).
+type PairFilter func(l, r sensornet.Node) bool
+
 // PlanJoin matches join partners over the current topology and initializes
 // adaptive state. It fails when the network has no base station.
 func (e *Engine) PlanJoin(q *JoinQuery) (*JoinState, error) {
+	return e.PlanJoinPart(q, nil)
+}
+
+// PlanJoinPart is PlanJoin keeping only the pairs keep admits (nil keeps
+// all).
+func (e *Engine) PlanJoinPart(q *JoinQuery, keep PairFilter) (*JoinState, error) {
 	base := e.net.Base()
 	if base < 0 {
 		return nil, errNoBase
@@ -165,6 +177,9 @@ func (e *Engine) PlanJoin(q *JoinQuery) (*JoinState, error) {
 				match = dx*dx+dy*dy <= q.Radius*q.Radius
 			}
 			if !match {
+				continue
+			}
+			if keep != nil && !keep(l, r) {
 				continue
 			}
 			p := pair{
@@ -224,6 +239,8 @@ func (st *JoinState) choose(p pair) Placement {
 // and concatenation run through the state's scratch buffers; only
 // delivered tuples are cloned out.
 func (e *Engine) RunJoinEpoch(st *JoinState, now vtime.Time, sink Sink) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	q := st.q
@@ -318,6 +335,46 @@ func (e *Engine) StartJoinBatch(st *JoinState, sched *vtime.Scheduler, sink Batc
 	return startEpochRunner(sched, st.q.Period, sink, func(now vtime.Time, deliver Sink) {
 		e.RunJoinEpoch(st, now, deliver)
 	})
+}
+
+// PairStatsSnapshot is one pair's serialized adaptive state, the unit of
+// JoinState checkpoints (plan-level fragment runners ship these across
+// failovers and rescales so placement decisions survive a move).
+type PairStatsSnapshot struct {
+	L, R                   int
+	SigmaL, SigmaR, SigmaJ float64
+	N                      int
+}
+
+// SnapshotStats captures every pair's adaptive selectivity state, sorted
+// by (left, right) mote ID for deterministic encoding.
+func (st *JoinState) SnapshotStats() []PairStatsSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]PairStatsSnapshot, 0, len(st.pairs))
+	for _, p := range st.pairs {
+		s := st.stats[[2]int{p.l, p.r}]
+		out = append(out, PairStatsSnapshot{
+			L: p.l, R: p.r,
+			SigmaL: s.sigmaL, SigmaR: s.sigmaR, SigmaJ: s.sigmaJ, N: s.n,
+		})
+	}
+	return out
+}
+
+// RestoreStats re-applies a SnapshotStats capture. Pairs absent from the
+// snapshot keep their initial estimates; snapshot entries without a
+// matching pair (topology drift) are ignored.
+func (st *JoinState) RestoreStats(snap []PairStatsSnapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, e := range snap {
+		s, ok := st.stats[[2]int{e.L, e.R}]
+		if !ok {
+			continue
+		}
+		s.sigmaL, s.sigmaR, s.sigmaJ, s.n = e.SigmaL, e.SigmaR, e.SigmaJ, e.N
+	}
 }
 
 // String renders the query for plan displays.

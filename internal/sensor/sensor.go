@@ -67,19 +67,36 @@ type BatchSink func(ts []data.Tuple)
 // reuses one buffer across epochs, flush delivers the epoch's tuples as
 // one batch and releases the references.
 type epochBatch struct {
-	sink BatchSink
-	buf  []data.Tuple
+	sink    BatchSink
+	buf     []data.Tuple
+	stopped bool
 }
 
-func (b *epochBatch) collect(t data.Tuple) { b.buf = append(b.buf, t) }
+func (b *epochBatch) collect(t data.Tuple) {
+	if b.stopped {
+		return
+	}
+	b.buf = append(b.buf, t)
+}
 
 func (b *epochBatch) flush() {
-	if len(b.buf) == 0 {
+	if len(b.buf) == 0 || b.stopped {
 		return
 	}
 	b.sink(b.buf)
 	clear(b.buf) // receiver owns the tuples now; drop our references
 	b.buf = b.buf[:0]
+}
+
+// detach releases the pooled epoch buffer and severs the sink, so a
+// stopped runner retains neither tuples nor the downstream pipeline —
+// even when Stop lands mid-epoch (a sink stopping its own query): the
+// in-flight epoch finishes collecting into nothing and never flushes.
+func (b *epochBatch) detach() {
+	b.stopped = true
+	clear(b.buf)
+	b.buf = nil
+	b.sink = nil
 }
 
 // startEpochRunner schedules run every period (default 1s), collecting
@@ -94,7 +111,7 @@ func startEpochRunner(sched *vtime.Scheduler, period time.Duration, sink BatchSi
 		run(sched.Now(), b.collect)
 		b.flush()
 	})
-	return &handle{stop: stop}
+	return &handle{stop: stop, release: b.detach}
 }
 
 // Engine evaluates sensor queries over one network.
@@ -153,15 +170,34 @@ type SelectQuery struct {
 // Schema returns the output schema.
 func (q *SelectQuery) Schema() *data.Schema { return ReadingSchema(q.Rel) }
 
+// NodeFilter restricts an epoch run to a subset of motes. Partitioned
+// fragment execution (plan-level shard hosting) samples each node on
+// exactly one shard: the filter applies to *sampling* only, never to tree
+// routing, so a partitioned run's delivered multiset unions to the
+// unpartitioned run's.
+type NodeFilter func(n sensornet.Node) bool
+
 // RunSelectEpoch executes one epoch of a selection query, delivering
 // passing readings to sink. It returns the number of tuples delivered.
 // Sampling runs through one scratch buffer for the whole epoch; only
 // delivered readings are cloned out.
 func (e *Engine) RunSelectEpoch(q *SelectQuery, now vtime.Time, sink Sink) int {
+	return e.RunSelectEpochPart(q, now, nil, sink)
+}
+
+// RunSelectEpochPart is RunSelectEpoch sampling only the nodes keep admits
+// (nil keeps all). It locks the engine, so shard replicas co-hosted on one
+// worker process can run their partitions concurrently.
+func (e *Engine) RunSelectEpochPart(q *SelectQuery, now vtime.Time, keep NodeFilter, sink Sink) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	base := e.net.Base()
 	delivered := 0
 	scratch := make([]data.Value, 0, 4)
 	for _, n := range e.net.Nodes() {
+		if keep != nil && !keep(n) {
+			continue
+		}
 		t, ok := e.sampleInto(scratch, n, q.Sensor, now)
 		if !ok {
 			continue
@@ -186,10 +222,21 @@ func (e *Engine) RunSelectEpoch(q *SelectQuery, now vtime.Time, sink Sink) int {
 // handle tracks a periodically scheduled query.
 type handle struct {
 	stop func()
+	// release, when set, frees resources the runner held across epochs
+	// (pooled batch buffers); it runs once, after the schedule is
+	// cancelled.
+	release func()
 }
 
-// Stop cancels the periodic execution.
-func (h *handle) Stop() { h.stop() }
+// Stop cancels the periodic execution and releases any pooled buffers the
+// runner held. Idempotent.
+func (h *handle) Stop() {
+	h.stop()
+	if h.release != nil {
+		h.release()
+		h.release = nil
+	}
+}
 
 // Runner is the handle returned by Start* methods.
 type Runner interface{ Stop() }

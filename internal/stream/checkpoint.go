@@ -44,6 +44,7 @@ const (
 	ckPartialAgg
 	ckFinalMerge
 	ckMaterialize
+	ckOpaque
 )
 
 // OpState is the serializable snapshot of one stateful operator. Kind
@@ -55,6 +56,23 @@ type OpState struct {
 	Distinct *DistinctState
 	Groups   *GroupsState
 	Rows     *RowsState
+	// Opaque carries state the stream layer does not interpret — higher
+	// layers (plan-level sensor fragment runners) ride the shard
+	// checkpoint machinery with their own encoding.
+	Opaque []byte
+}
+
+// NewOpaqueState wraps an externally encoded payload as an OpState, letting
+// non-stream Checkpointers (sensor fragment runners) participate in shard
+// checkpoints.
+func NewOpaqueState(b []byte) OpState { return OpState{Kind: ckOpaque, Opaque: b} }
+
+// OpaqueData unwraps a NewOpaqueState payload.
+func (s OpState) OpaqueData() ([]byte, error) {
+	if s.Kind != ckOpaque {
+		return nil, ckKindErr(ckOpaque, s)
+	}
+	return s.Opaque, nil
 }
 
 // WindowState snapshots a Window: the live tuples in arrival order and the

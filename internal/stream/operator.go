@@ -315,6 +315,32 @@ func (c *Callback) Schema() *data.Schema { return c.schema }
 // Push implements Operator.
 func (c *Callback) Push(t data.Tuple) { c.fn(t) }
 
+// BatchCallback adapts a batch function to Operator; like Callback but
+// receiving each PushBatch as one call, so feeding another engine input
+// (recursive-view edges) costs one dispatch per batch.
+type BatchCallback struct {
+	schema *data.Schema
+	fn     func([]data.Tuple)
+}
+
+// NewBatchCallback wraps fn as a batch-native operator with the given
+// schema.
+func NewBatchCallback(schema *data.Schema, fn func([]data.Tuple)) *BatchCallback {
+	return &BatchCallback{schema: schema, fn: fn}
+}
+
+// Schema implements Operator.
+func (c *BatchCallback) Schema() *data.Schema { return c.schema }
+
+// Push implements Operator.
+func (c *BatchCallback) Push(t data.Tuple) {
+	batch := [1]data.Tuple{t}
+	c.fn(batch[:])
+}
+
+// PushBatch implements BatchOperator.
+func (c *BatchCallback) PushBatch(ts []data.Tuple) { c.fn(ts) }
+
 // Collector accumulates pushed tuples; a test and example helper.
 type Collector struct {
 	mu     sync.Mutex

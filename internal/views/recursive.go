@@ -273,6 +273,15 @@ func (b *baseInput) Push(t data.Tuple) {
 	}
 }
 
+// PushBatch implements stream.BatchOperator: maintenance is per-tuple (each
+// insert/delete runs its own fixpoint), but accepting the batch natively
+// keeps upstream batch edges (table loads, sharded exchanges) on one call.
+func (b *baseInput) PushBatch(ts []data.Tuple) {
+	for _, t := range ts {
+		b.Push(t)
+	}
+}
+
 type edgeInput struct{ v *View }
 
 func (e *edgeInput) Schema() *data.Schema { return e.v.cfg.EdgeSchema }
@@ -281,6 +290,13 @@ func (e *edgeInput) Push(t data.Tuple) {
 		e.v.deleteEdge(t)
 	} else {
 		e.v.insertEdge(t)
+	}
+}
+
+// PushBatch implements stream.BatchOperator (see baseInput.PushBatch).
+func (e *edgeInput) PushBatch(ts []data.Tuple) {
+	for _, t := range ts {
+		e.Push(t)
 	}
 }
 

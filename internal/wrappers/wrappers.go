@@ -77,9 +77,9 @@ func (w *WebWrapper) PollOnce(now vtime.Time) error {
 		w.Errors++
 		return fmt.Errorf("wrappers: decode %s: %w", w.URL, err)
 	}
-	for _, t := range tuples {
-		w.Input.Push(t)
-	}
+	// One poll = one batch: downstream sharded plans exchange the whole
+	// round in a single columnar frame instead of tuple-at-a-time.
+	w.Input.PushBatch(tuples)
 	return nil
 }
 
@@ -168,12 +168,12 @@ func (w *MachineWrapper) SampleOnce(now vtime.Time) int {
 	if w.StepWorkload {
 		w.Fleet.Step(now)
 	}
-	n := 0
+	batch := make([]data.Tuple, 0, len(w.Fleet.Machines()))
 	for _, m := range w.Fleet.Machines() {
 		if m.Off {
 			continue
 		}
-		w.Input.Push(data.NewTuple(now,
+		batch = append(batch, data.NewTuple(now,
 			data.Str(m.Name),
 			data.Str(m.Room),
 			data.Int(int64(m.Desk)),
@@ -184,9 +184,10 @@ func (w *MachineWrapper) SampleOnce(now vtime.Time) int {
 			data.Int(int64(len(m.Users()))),
 			data.Float(m.Requests),
 		))
-		n++
 	}
-	return n
+	// One scrape round = one batch into the engine.
+	w.Input.PushBatch(batch)
+	return len(batch)
 }
 
 // Start schedules periodic sampling.
@@ -203,13 +204,13 @@ func (w *MachineWrapper) Start(sched *vtime.Scheduler) Runner {
 // insertions at the given timestamp; how database tables enter a continuous
 // query's join state. Returns the number of rows loaded.
 func LoadTable(rel *data.Relation, input *stream.Input, now vtime.Time) int {
-	n := 0
+	var rows []data.Tuple
 	rel.Scan(func(t data.Tuple) bool {
 		t.TS = now
 		t.Op = data.Insert
-		input.Push(t)
-		n++
+		rows = append(rows, t)
 		return true
 	})
-	return n
+	input.PushBatch(rows)
+	return len(rows)
 }
