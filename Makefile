@@ -21,10 +21,11 @@ check: build vet fmt test
 # bench runs the E1-E11 microbenchmarks with allocation stats, then
 # regenerates the experiment tables (including the E7 shard,
 # global-aggregate, multi-node, elastic/failover-armed sweeps, the
-# E11 query-density sweep and the E2-remote fragment-at-worker
-# comparison) and writes them, plus the recorded seed/PR-1..PR-8
-# baselines, to $(BENCH_OUT).
-BENCH_OUT ?= BENCH_PR9.json
+# E11 query-density sweep, the E2-remote fragment-at-worker
+# comparison and the coordinator snapshot size/latency table) and
+# writes them, plus the recorded seed/PR-1..PR-9 baselines, to
+# $(BENCH_OUT).
+BENCH_OUT ?= BENCH_PR10.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 	$(GO) run ./cmd/benchharness -json $(BENCH_OUT)
@@ -67,8 +68,9 @@ dist:
 chaos:
 	$(GO) test -race -run 'ShardDifferentialChaos|ChaosWorkerProcessKill' \
 		./internal/plan/ -fuzzshard.kill=8 -v
-	$(GO) test -race -run 'Failover|CheckpointRestore' ./internal/stream/ -v
-	$(GO) test -race -run 'RemoteSensorFragmentSurvivesWorkerKill' ./internal/core/ -v
+	$(GO) test -race -run 'Failover|CheckpointRestore|TrimOpaqueTail' ./internal/stream/ -v
+	$(GO) test -race -run 'RemoteSensorFragmentSurvivesWorkerKill|FragmentSnapshotRestart' ./internal/core/ -v
+	$(GO) test -race -run 'SnapshotSaveCrashPoints' ./internal/plan/ -v
 
 # elastic runs the join/leave/restart differential under the race
 # detector: random plans serve while workers are added and removed
@@ -76,24 +78,31 @@ chaos:
 # replacement rejoins), and while the coordinator itself is restarted
 # mid-run and rehydrated from its snapshot — the materialized result
 # must stay multiset-equal to serial execution, including the
-# forced-hash-collision sweep. The stream-level elastic matrix (pool
-# eviction/redial race, per-shard undeploy, rescale validation) rides
-# along. Mirrored by the CI `distributed` job.
+# forced-hash-collision sweep. The PR-10 restart differentials ride
+# along: shared-chain window state and sensor-fragment deployments
+# must come back from a snapshot v2 file exactly as an uninterrupted
+# run would have them, across all three fragment rehydration tiers.
+# The stream-level elastic matrix (pool eviction/redial race,
+# per-shard undeploy, rescale validation) rides along. Mirrored by
+# the CI `distributed` job.
 .PHONY: elastic
 elastic:
-	$(GO) test -race -run 'ShardDifferentialElastic|ShardDifferentialJoinLeaveRestart|RescaleLiveDeployment|RescaleHealBack|CoordinatorSnapshot|SnapshotLoadFaults' \
+	$(GO) test -race -run 'ShardDifferentialElastic|ShardDifferentialJoinLeaveRestart|RescaleLiveDeployment|RescaleHealBack|CoordinatorSnapshot|SnapshotLoadFaults|SnapshotSkipListSurfaced|SnapshotChainsRequireSharing|SharedChainRestartDifferential|ParseNodesErrors|SnapFragmentRoundTrip|CoordinatorFragmentSnapshotRestore' \
 		./internal/plan/ -fuzzshard.elastic=6 -v
 	$(GO) test -race -run 'ShardPoolEvictionRedialRace|ShardConnUndeploy|RescaleValidation' \
 		./internal/stream/ -v
+	$(GO) test -race -run 'FragmentSnapshotRestart' ./internal/core/ -v
 
 # cover gates statement coverage of the partition-parallel core packages:
 # the floors rise as coverage grows (PR 3 introduced the gate; PR 5 raised
 # it with the failover subsystem; PR 6 with the wire codec + mux tests;
 # PR 7 with the elastic rescale + coordinator snapshot tests; PR 8 with
 # the detach/fanout and shared-prefix tests; PR 9 added the sensor floor
-# with the fragment runner + churn tests), so new code must arrive tested.
+# with the fragment runner + churn tests; PR 10 raised the plan floor
+# with the snapshot v2 restart differentials and fragment round-trip
+# tests), so new code must arrive tested.
 COVER_FLOOR_STREAM := 91.7
-COVER_FLOOR_PLAN   := 88.5
+COVER_FLOOR_PLAN   := 89.5
 COVER_FLOOR_SENSOR := 86.5
 .PHONY: cover
 cover:

@@ -135,11 +135,15 @@ func main() {
 	}
 
 	if *restore {
-		qs, err := app.RestoreSnapshot()
+		qs, skipped, err := app.RestoreSnapshot()
 		if err != nil {
 			log.Fatalf("restore: %v", err)
 		}
 		fmt.Printf("restored %d standing queries from %s\n", len(qs), *snapshot)
+		if len(skipped) > 0 {
+			fmt.Fprintf(os.Stderr, "warning: snapshot skipped %s at save time; re-run those queries\n",
+				strings.Join(skipped, ", "))
+		}
 		app.Sched.RunFor(*runFor)
 		for _, q := range qs {
 			fmt.Printf("aspenql> [%s] %s\n", q.Name(), strings.Join(strings.Fields(q.SQL), " "))
@@ -205,8 +209,12 @@ func adminDirective(app *aspen.SmartCIS, cmd string) error {
 		}
 		return nil
 	case `\save`:
-		if err := app.SaveSnapshot(); err != nil {
+		skipped, err := app.SaveSnapshot()
+		if err != nil {
 			return err
+		}
+		if len(skipped) > 0 {
+			fmt.Fprintf(os.Stderr, "warning: snapshot does not capture %s\n", strings.Join(skipped, ", "))
 		}
 		fmt.Println("snapshot saved")
 		return nil

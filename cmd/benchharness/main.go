@@ -1,4 +1,4 @@
-// Benchharness regenerates every experiment table (E1–E11) defined in
+// Benchharness regenerates every experiment table (E1–E12) defined in
 // DESIGN.md and recorded in EXPERIMENTS.md.
 //
 //	go run ./cmd/benchharness                       # all experiments
@@ -122,6 +122,21 @@ var pr7Baselines = map[string]string{
 	"QueryDensity/Q=256/private": "84824 ns/op",
 }
 
+// pr9Baselines records the post-PR-9 numbers (single-core CI container,
+// from BENCH_PR9.json's E7/E11/E2R tables) that PR 10's armed snapshot
+// support is measured against: capturing shared-chain windows and
+// fragment specs in coordinator snapshots is off the hot path, so the
+// shard/wire sweeps and the shared-prefix per-query costs must hold
+// unchanged (0 allocs/op in the matching microbenchmarks).
+var pr9Baselines = map[string]string{
+	"E7/10s/P=4":        "7.7 ms wall, 3.88M tuples/sec",
+	"E7/10s/P=4/W=1":    "10.0 ms wall, 3.01M tuples/sec",
+	"E7/10s/P=4/W=1/fo": "16.6 ms wall, 1.80M tuples/sec",
+	"E11/Q=16/shared":   "96 ns/tuple/query, 3.11x over private",
+	"E11/Q=256/shared":  "67 ns/tuple/query, 5.11x over private",
+	"E2R/12x12":         "fragment-at-worker 0.95x of raw-over-wire, 0 raw tuples shipped",
+}
+
 type report struct {
 	// SeedBaseline holds the pre-optimization microbenchmark numbers for
 	// the benchmarks the PR-1 acceptance criteria track.
@@ -148,7 +163,12 @@ type report struct {
 	// pipelines, before the shared-subplan layer existed — that PR 8's
 	// query-density criterion (per-query cost sublinear in Q) is
 	// measured against.
-	PR7Baseline map[string]string   `json:"pr7_baseline"`
+	PR7Baseline map[string]string `json:"pr7_baseline"`
+	// PR9Baseline holds the post-PR-9 table numbers (PR 8's rows ride in
+	// the frozen BENCH_PR8.json) that PR 10's snapshot v2 capture — shared
+	// chains and fragment deployments — must not regress; the snapshot
+	// size/latency rows themselves live in the E12 table.
+	PR9Baseline map[string]string   `json:"pr9_baseline"`
 	Experiments []experiments.Table `json:"experiments"`
 }
 
@@ -169,8 +189,9 @@ func main() {
 		"E9":  experiments.E9EndToEnd,
 		"E10": experiments.E10Alarms,
 		"E11": experiments.E11QueryDensity,
+		"E12": experiments.E12SnapshotDurability,
 	}
-	order := []string{"E1", "E2", "E2R", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	order := []string{"E1", "E2", "E2R", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 
 	want := flag.Args()
 	if len(want) == 0 {
@@ -179,7 +200,8 @@ func main() {
 	rep := report{SeedBaseline: seedBaselines, PR1Baseline: pr1Baselines,
 		PR2Baseline: pr2Baselines, PR3Baseline: pr3Baselines,
 		PR4Baseline: pr4Baselines, PR5Baseline: pr5Baselines,
-		PR6Baseline: pr6Baselines, PR7Baseline: pr7Baselines}
+		PR6Baseline: pr6Baselines, PR7Baseline: pr7Baselines,
+		PR9Baseline: pr9Baselines}
 	for _, id := range want {
 		fn, ok := all[strings.ToUpper(id)]
 		if !ok {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"aspen"
@@ -120,8 +121,12 @@ func main() {
 	fmt.Printf("final occupancy result (%d rows); radio: %d msgs, %.1f mJ\n",
 		len(rows), app.Net.Metrics().Sent, app.Net.Metrics().EnergyMJ)
 	if *snapshot != "" {
-		if err := app.SaveSnapshot(); err != nil {
+		skipped, err := app.SaveSnapshot()
+		if err != nil {
 			log.Fatalf("snapshot: %v", err)
+		}
+		if len(skipped) > 0 {
+			fmt.Printf("warning: snapshot does not capture %s\n", strings.Join(skipped, ", "))
 		}
 		fmt.Printf("coordinator snapshot saved to %s\n", *snapshot)
 	}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"aspen/internal/data"
 	"aspen/internal/plan"
 	"aspen/internal/sensor"
 	"aspen/internal/sensornet"
@@ -41,13 +43,10 @@ func newFieldEngine() *sensor.Engine {
 // parallelism and (annotated) worker topology.
 func newFragmentRuntime(t *testing.T, par int, failover bool, nodes ...string) (*Runtime, *vtime.Scheduler) {
 	t.Helper()
-	sched := vtime.NewScheduler()
-	rt := New(Config{
-		Scheduler:    sched,
-		SensorEngine: newFieldEngine(),
-		Parallelism:  par,
-		Nodes:        nodes,
-		Failover:     failover,
+	return newFragmentRuntimeCfg(t, Config{
+		Parallelism: par,
+		Nodes:       nodes,
+		Failover:    failover,
 		CheckpointEvery: func() int {
 			if failover {
 				return 2
@@ -55,6 +54,16 @@ func newFragmentRuntime(t *testing.T, par int, failover bool, nodes ...string) (
 			return 0
 		}(),
 	})
+}
+
+// newFragmentRuntimeCfg is newFragmentRuntime with the full Config surface
+// (snapshot path, tick period); Scheduler and SensorEngine are filled in.
+func newFragmentRuntimeCfg(t *testing.T, cfg Config) (*Runtime, *vtime.Scheduler) {
+	t.Helper()
+	sched := vtime.NewScheduler()
+	cfg.Scheduler = sched
+	cfg.SensorEngine = newFieldEngine()
+	rt := New(cfg)
 	t.Cleanup(rt.Close)
 	if err := rt.RegisterSensorStream("Temperature", sensornet.SensorTemperature, 16); err != nil {
 		t.Fatal(err)
@@ -260,7 +269,10 @@ func TestRemoteSensorFragmentRescaleKeepsLocality(t *testing.T) {
 	if err := pq.Rescale(grown); err != nil {
 		t.Fatal(err)
 	}
-	addrs, affinity := plan.ParseNodes(grown)
+	addrs, affinity, err := plan.ParseNodes(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hosted := map[string]bool{}
 	for _, a := range addrs {
 		for _, s := range affinity[a] {
@@ -283,6 +295,238 @@ func TestRemoteSensorFragmentRescaleKeepsLocality(t *testing.T) {
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("post-rescale rows %v, want %v", got, want)
 	}
+}
+
+// newSensorWorkersAt restarts sensor workers bound to explicit addresses —
+// the "same machines came back" half of a coordinator-restart scenario.
+func newSensorWorkersAt(t *testing.T, addrs []string, sources ...string) []*stream.ShardWorker {
+	t.Helper()
+	var workers []*stream.ShardWorker
+	for _, addr := range addrs {
+		hosts := plan.NewSensorHosts()
+		eng := newFieldEngine()
+		for _, src := range sources {
+			hosts.Add(src, eng)
+		}
+		w, err := plan.NewSensorWorker(addr, hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		workers = append(workers, w)
+	}
+	return workers
+}
+
+const fragRestartSrc = `SELECT l.room, count(*) AS n FROM Light l [RANGE 4 SECONDS]
+	 WHERE l.value < 10 GROUP BY l.room ORDER BY l.room`
+
+// fragRestartReference runs fragRestartSrc serially and uninterrupted to
+// the final instant; every restart differential must land exactly here.
+func fragRestartReference(t *testing.T) []data.Tuple {
+	t.Helper()
+	srt, ssched := newFragmentRuntime(t, 0, false)
+	sq, err := srt.Run(fragRestartSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssched.RunUntil(8 * vtime.Second)
+	want, err := sq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial reference is empty")
+	}
+	return want
+}
+
+// fragRestartSnapshot runs fragRestartSrc sharded over two sensor workers,
+// saves a coordinator snapshot at the 4s mark, and simulates the crash:
+// coordinator, deployments, and workers all die. It returns the worker
+// node entries the snapshot recorded.
+func fragRestartSnapshot(t *testing.T, path string) []string {
+	t.Helper()
+	workers, nodes := newSensorWorkers(t, 2, "light")
+	rt, sched := newFragmentRuntimeCfg(t, Config{
+		Parallelism: 4, Nodes: nodes,
+		Failover: true, CheckpointEvery: 2,
+		SnapshotPath: path,
+	})
+	q, err := rt.Run(fragRestartSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Deployment.RemoteFragments) == 0 {
+		t.Fatal("no sensor fragments were pushed into the shard replicas")
+	}
+	sched.RunUntil(4 * vtime.Second)
+	skipped, err := rt.SaveSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("snapshot skipped %v; a fragment deployment must be captured", skipped)
+	}
+	// The restart: nothing of the first process survives but the file.
+	rt.Coordinator().Close()
+	rt.Close()
+	for _, w := range workers {
+		w.Close()
+	}
+	return nodes
+}
+
+func requireFragRows(t *testing.T, ctx string, got, want []data.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s rows %v, want %v", ctx, got, want)
+	}
+	for i := range want {
+		if !want[i].EqualVals(got[i]) {
+			t.Fatalf("%s row %d: %v, want %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFragmentSnapshotRestartSameWorkers is the fragment restart
+// differential, tier 1: the coordinator restarts, the sensor workers come
+// back at their snapshotted addresses, and the restored deployment —
+// remote fragments redeployed with their checkpointed epoch anchors —
+// finishes the run exactly where an uninterrupted one would.
+func TestFragmentSnapshotRestartSameWorkers(t *testing.T) {
+	want := fragRestartReference(t)
+	path := filepath.Join(t.TempDir(), "coord.snap")
+	nodes := fragRestartSnapshot(t, path)
+
+	addrs, _, err := plan.ParseNodes(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSensorWorkersAt(t, addrs, "light")
+	rt, sched := newFragmentRuntimeCfg(t, Config{
+		Parallelism: 4, Nodes: nodes,
+		Failover: true, CheckpointEvery: 2,
+		SnapshotPath: path,
+	})
+	qs, skipped, err := rt.RestoreSnapshot()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("restore surfaced skips %v, want none", skipped)
+	}
+	if len(qs) != 1 {
+		t.Fatalf("restored %d queries, want 1", len(qs))
+	}
+	q := qs[0]
+	if len(q.Deployment.RemoteFragments) == 0 {
+		t.Fatal("restored deployment lost its remote fragments")
+	}
+	onWorker := false
+	for _, loc := range q.Deployment.Placement() {
+		onWorker = onWorker || loc != ""
+	}
+	if !onWorker {
+		t.Fatalf("no shard returned to a worker (placement %v)", q.Deployment.Placement())
+	}
+	sched.RunUntil(8 * vtime.Second)
+	got, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireFragRows(t, "restart-same-workers", got, want)
+}
+
+// TestFragmentSnapshotRestartWorkersGone, tier 2: the snapshotted workers
+// never come back, so the restored deployment degrades to all-in-process
+// shards — with the fragments still pinned and resumed from their exact
+// checkpointed state against the sources this process hosts.
+func TestFragmentSnapshotRestartWorkersGone(t *testing.T) {
+	want := fragRestartReference(t)
+	path := filepath.Join(t.TempDir(), "coord.snap")
+	fragRestartSnapshot(t, path)
+
+	rt, sched := newFragmentRuntimeCfg(t, Config{
+		Parallelism: 4, SnapshotPath: path,
+	})
+	qs, skipped, err := rt.RestoreSnapshot()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("restore surfaced skips %v, want none", skipped)
+	}
+	if len(qs) != 1 {
+		t.Fatalf("restored %d queries, want 1", len(qs))
+	}
+	q := qs[0]
+	for j, loc := range q.Deployment.Placement() {
+		if loc != "" {
+			t.Fatalf("shard %d restored onto dead worker %q", j, loc)
+		}
+	}
+	if len(q.Deployment.RemoteFragments) == 0 {
+		t.Fatal("in-process degrade dropped the pinned fragments")
+	}
+	sched.RunUntil(8 * vtime.Second)
+	got, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireFragRows(t, "restart-workers-gone", got, want)
+}
+
+// TestFragmentSnapshotRestartCentralFallback, tier 3: the workers are gone
+// AND the restarted process hosts no sensor sources for pinned in-process
+// fragments, so the fragments fall back to central epoch runners — the
+// deployment survives (stream state exact, fragment runners re-anchored at
+// the restore instant) instead of being silently dropped.
+func TestFragmentSnapshotRestartCentralFallback(t *testing.T) {
+	want := fragRestartReference(t)
+	path := filepath.Join(t.TempDir(), "coord.snap")
+	fragRestartSnapshot(t, path)
+
+	// No RegisterSensorStream: the runtime has a sensor engine (central
+	// runners work) but hosts no sources (pinned in-process fragments
+	// cannot build), forcing the last fallback tier.
+	sched := vtime.NewScheduler()
+	rt := New(Config{
+		Scheduler:    sched,
+		SensorEngine: newFieldEngine(),
+		Parallelism:  4,
+		SnapshotPath: path,
+	})
+	t.Cleanup(rt.Close)
+	// Central runners anchor at Now+period, so tick to the snapshot
+	// instant first: the restarted runners resume at exactly the epoch the
+	// checkpointed ones would have fired next.
+	sched.RunUntil(4 * vtime.Second)
+	qs, skipped, err := rt.RestoreSnapshot()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("restore surfaced skips %v, want none", skipped)
+	}
+	if len(qs) != 1 {
+		t.Fatalf("restored %d queries, want 1", len(qs))
+	}
+	q := qs[0]
+	if len(q.Deployment.RemoteFragments) != 0 {
+		t.Fatalf("central fallback left fragments pinned: %v", q.Deployment.RemoteFragments)
+	}
+	for j, loc := range q.Deployment.Placement() {
+		if loc != "" {
+			t.Fatalf("shard %d restored onto dead worker %q", j, loc)
+		}
+	}
+	sched.RunUntil(8 * vtime.Second)
+	got, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireFragRows(t, "restart-central-fallback", got, want)
 }
 
 // TestFragmentIneligibleTickMisalignment keeps a fragment central when its

@@ -76,10 +76,13 @@ type Config struct {
 	SharedPrefixes bool
 	// SnapshotPath makes the coordinator durable: deployed SELECT queries
 	// are tracked by a plan.Coordinator that SaveSnapshot persists to this
-	// file (atomic, checksummed) and RestoreSnapshot rehydrates after a
-	// coordinator restart — standing queries recompile onto their
-	// snapshotted shard placement and resume from the last committed
-	// checkpoint. Empty keeps the coordinator in-memory only.
+	// file (atomic, checksummed, fsynced through the rename) and
+	// RestoreSnapshot rehydrates after a coordinator restart — standing
+	// queries recompile onto their snapshotted shard placement and resume
+	// from the last committed checkpoint, shared-prefix window state and
+	// sensor fragment deployments included (fragments whose workers are
+	// gone fall back to central runners rather than being dropped). Empty
+	// keeps the coordinator in-memory only.
 	SnapshotPath string
 }
 
@@ -153,6 +156,11 @@ func New(cfg Config) *Runtime {
 			rt.hosts.Add(k, cfg.SensorEngine)
 		}
 		rt.fed.Sensors = &federation.Binding{Kinds: kinds, Engine: cfg.SensorEngine}
+	}
+	if rt.coord != nil {
+		// The coordinator needs the process's sensor hosts, tick cadence,
+		// and clock to rehydrate fragment-carrying deployments.
+		rt.coord.SetRuntime(rt.hosts, cfg.TickPeriod, rt.Sched.Now)
 	}
 	rt.tickCancel = rt.Sched.Every(cfg.TickPeriod, func() {
 		rt.Stream.Advance(rt.Sched.Now())
@@ -280,10 +288,11 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 	if err != nil {
 		return nil, err
 	}
+	specs := fragSpecs(res.Chosen.Fragments)
 	opts := plan.CompileOptions{Parallelism: rt.parallelism, Nodes: rt.nodes,
 		Failover: rt.failover, CheckpointEvery: rt.ckEvery, StallTimeout: rt.stall,
 		Sharing: rt.share, SensorHosts: rt.hosts, TickPeriod: rt.tick,
-		Now: rt.Sched.Now(), Fragments: fragSpecs(res.Chosen.Fragments)}
+		Now: rt.Sched.Now(), Fragments: specs}
 	var dep *plan.Deployment
 	var name string
 	if rt.coord != nil {
@@ -311,40 +320,66 @@ func (rt *Runtime) deploySelect(sqlText string, stmt *sql.SelectStmt) (*Query, e
 	// the compile pushed into the shard replicas (dep.RemoteFragments) run
 	// partitioned at the shard homes instead — no central runner, and no
 	// exchange hop for their epochs.
+	if err := rt.startFragmentRunners(q, dep, specs); err != nil {
+		return fail(err)
+	}
+	rt.loadTables(dep)
+	return q, nil
+}
+
+// startFragmentRunners starts a central epoch runner for every fragment
+// not deployed inside the shard replicas, feeding the fragment's derived
+// input one batch per epoch. Runners append to q.runners (Stop cancels
+// them). Both fresh deploys and snapshot restores funnel through here.
+func (rt *Runtime) startFragmentRunners(q *Query, dep *plan.Deployment, frags []plan.SensorFragment) error {
+	if len(frags) > 0 && rt.sensors == nil {
+		return fmt.Errorf("core: query %q carries sensor fragments but no sensor engine is configured", q.SQL)
+	}
 	remote := map[string]bool{}
 	for _, name := range dep.RemoteFragments {
 		remote[name] = true
 	}
-	for _, frag := range res.Chosen.Fragments {
-		if remote[frag.DerivedName] {
+	for i := range frags {
+		f := &frags[i]
+		if remote[f.Name] {
 			continue
 		}
-		in, ok := rt.Stream.Input(frag.DerivedName)
+		var schema *data.Schema
+		switch {
+		case f.Select != nil:
+			schema = f.Select.Schema()
+		case f.Join != nil:
+			schema = f.Join.Schema()
+		case f.Agg != nil:
+			schema = f.Agg.Schema()
+		default:
+			return fmt.Errorf("core: fragment %s has no query", f.Name)
+		}
+		in, ok := rt.Stream.Input(f.Name)
 		if !ok {
 			// A ship-all fragment whose raw source the plan did not end up
 			// scanning (e.g. projected away); register so data still flows.
 			var err error
-			in, err = rt.Stream.Register(frag.DerivedName, frag.Schema)
+			in, err = rt.Stream.Register(f.Name, schema)
 			if err != nil {
-				return fail(err)
+				return err
 			}
 		}
 		sink := func(ts []data.Tuple) { in.PushBatch(ts) }
-		switch frag.Kind {
-		case federation.FragSelect, federation.FragShipAll:
-			q.runners = append(q.runners, rt.sensors.StartSelectBatch(frag.Select, rt.Sched, sink))
-		case federation.FragJoin:
-			st, err := rt.sensors.PlanJoin(frag.Join)
+		switch {
+		case f.Select != nil:
+			q.runners = append(q.runners, rt.sensors.StartSelectBatch(f.Select, rt.Sched, sink))
+		case f.Join != nil:
+			st, err := rt.sensors.PlanJoin(f.Join)
 			if err != nil {
-				return fail(err)
+				return err
 			}
 			q.runners = append(q.runners, rt.sensors.StartJoinBatch(st, rt.Sched, sink))
-		case federation.FragAggregate:
-			q.runners = append(q.runners, rt.sensors.StartAggregateBatch(frag.Agg, rt.Sched, sink))
+		case f.Agg != nil:
+			q.runners = append(q.runners, rt.sensors.StartAggregateBatch(f.Agg, rt.Sched, sink))
 		}
 	}
-	rt.loadTables(dep)
-	return q, nil
+	return nil
 }
 
 // fragSpecs lowers the optimizer's fragment decisions to the compile-level
@@ -389,43 +424,63 @@ func (rt *Runtime) Sharing() *plan.Sharing { return rt.share }
 
 // SaveSnapshot checkpoints every coordinator-tracked query at a quiescent
 // barrier and atomically replaces the snapshot file (Config.SnapshotPath).
-func (rt *Runtime) SaveSnapshot() error {
+// Shared-prefix window state and sensor fragment deployments are captured
+// too; the returned slice names any query the snapshot could not record
+// (empty = complete snapshot) — surface it, never ignore it.
+func (rt *Runtime) SaveSnapshot() ([]string, error) {
 	if rt.coord == nil {
-		return fmt.Errorf("core: no SnapshotPath configured")
+		return nil, fmt.Errorf("core: no SnapshotPath configured")
 	}
 	return rt.coord.Save()
 }
 
 // RestoreSnapshot rehydrates the standing queries recorded in the
 // snapshot file onto this runtime: each recompiles with its shards pinned
-// to the snapshotted placement and every operator restored from the last
-// committed checkpoint. Table loads are NOT replayed — the restored join
-// and window state already contains them; sources push new input as
-// usual. Sensor-engine fragments do not survive a coordinator restart
-// (re-run those queries). Returns the restored queries in name order; a
-// validation or compile failure restores nothing and reports why.
-func (rt *Runtime) RestoreSnapshot() ([]*Query, error) {
+// to the snapshotted placement and every operator — shared chain windows
+// and fragment runners included — restored from the last committed
+// checkpoint. Table loads are NOT replayed — the restored join and window
+// state already contains them; sources push new input as usual. Sensor
+// fragments resume where they ran: shard-hosted ones redeploy with their
+// checkpointed epoch anchors (falling back in-process, then to central
+// runners, when their snapshotted workers are gone), central ones restart
+// their epoch runners here. Returns the restored queries in name order
+// plus the names the snapshot recorded as skipped at Save time (those
+// queries must be re-run); a validation or compile failure restores
+// nothing and reports why.
+func (rt *Runtime) RestoreSnapshot() ([]*Query, []string, error) {
 	if rt.coord == nil {
-		return nil, fmt.Errorf("core: no SnapshotPath configured")
+		return nil, nil, fmt.Errorf("core: no SnapshotPath configured")
 	}
-	if err := rt.coord.Restore(); err != nil {
-		return nil, err
+	skipped, err := rt.coord.Restore()
+	if err != nil {
+		return nil, nil, err
 	}
 	var qs []*Query
+	fail := func(err error) ([]*Query, []string, error) {
+		for _, q := range qs {
+			q.Stop()
+		}
+		return nil, nil, err
+	}
 	for _, name := range rt.coord.Names() {
 		dep, _ := rt.coord.Deployment(name)
 		sqlText := name
 		if b, ok := rt.coord.Built(name); ok {
 			sqlText = b.String()
 		}
-		qs = append(qs, &Query{SQL: sqlText, Deployment: dep, rt: rt, name: name})
+		q := &Query{SQL: sqlText, Deployment: dep, rt: rt, name: name}
+		if err := rt.startFragmentRunners(q, dep, rt.coord.Fragments(name)); err != nil {
+			q.Stop()
+			return fail(fmt.Errorf("core: restore %s: %w", name, err))
+		}
+		qs = append(qs, q)
 		// Keep q1, q2, … unique across the restart.
 		var n int
 		if _, err := fmt.Sscanf(name, "q%d", &n); err == nil && n > rt.qn {
 			rt.qn = n
 		}
 	}
-	return qs, nil
+	return qs, skipped, nil
 }
 
 // Rescale retargets the runtime's worker topology: future deployments

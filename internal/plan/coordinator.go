@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"aspen/internal/stream"
+	"aspen/internal/vtime"
 )
 
 // Coordinator makes the coordinator process itself survivable. It tracks
@@ -26,19 +28,24 @@ import (
 // # Snapshot format
 //
 // One file, written atomically (temp file + rename on the same
-// directory):
+// directory, both fsynced, and the directory synced across the rename):
 //
 //	offset  size  field
 //	0       8     magic "ASPENSNP"
-//	8       4     format version (little-endian u32, currently 1)
+//	8       4     format version (little-endian u32, currently 2)
 //	12      4     CRC-32 (IEEE) of the body
 //	16      —     body: gob-encoded snapFile
 //
 // The body holds one record per deployment: the wire-encoded plan tree
 // (the same wireNode mirror shard workers deploy from), the presentation
 // spec (ORDER BY / LIMIT / display), the compile options, the per-shard
-// placement and operator states, and the coordinator-side state (serial
-// pipeline or two-phase spine plus the materialized result). Load
+// placement and operator states, the coordinator-side state (serial
+// pipeline or two-phase spine plus the materialized result), and — new
+// in version 2 — the deployment's sensor fragment specs with the names
+// of those deployed remotely, plus one window state per shared prefix
+// chain and the names of any deployments the Save had to skip. Version 1
+// snapshots still load (their new fields decode zero: no fragments, no
+// chain state, no skips — exactly what a v1 Save could record). Load
 // verifies magic, version, and checksum before decoding, so a truncated,
 // corrupted, or stale-format file is a clean error — never a panic or a
 // silently partial rehydration.
@@ -46,6 +53,14 @@ type Coordinator struct {
 	eng   *stream.Engine
 	path  string
 	share *Sharing
+
+	// hosts/tick/now describe the runtime a Restore compiles into (see
+	// SetRuntime): the sensor engines this process hosts, the engine tick
+	// cadence, and the scheduler clock — what fragment-carrying
+	// deployments need to recompile.
+	hosts *SensorHosts
+	tick  time.Duration
+	now   func() vtime.Time
 
 	mu   sync.Mutex
 	deps map[string]*coordEntry
@@ -58,13 +73,23 @@ type coordEntry struct {
 }
 
 const (
-	snapMagic   = "ASPENSNP"
-	snapVersion = 1
+	snapMagic = "ASPENSNP"
+	// snapVersion is the format this build writes; snapVersionMin..snapVersion
+	// all load (older bodies decode with the newer fields zero).
+	snapVersion    = 2
+	snapVersionMin = 1
 )
 
 // snapFile is the gob body of a coordinator snapshot.
 type snapFile struct {
 	Deployments []snapDeployment
+	// Chains maps each shared prefix chain's canonical key to its base
+	// window's encoded state, captured once per chain however many
+	// deployments attach to it (v2).
+	Chains map[string][]byte
+	// Skipped names deployments this snapshot could not capture (v2);
+	// Save and Restore both surface the list so a skip is never silent.
+	Skipped []string
 }
 
 // snapDeployment is one standing query's durable record.
@@ -89,6 +114,14 @@ type snapDeployment struct {
 	Placement []string
 	Shards    map[int][]byte
 	Coord     []byte
+
+	// Sensor fragments feeding the plan's derived inputs (v2): the full
+	// specs, and the names of those that deployed inside shard replicas
+	// at snapshot time — the shard states above carry one runner state
+	// per RemoteFrags entry, so a rehydrating compile must re-deploy
+	// exactly those fragments in this order.
+	Fragments   []snapFragment
+	RemoteFrags []string
 }
 
 // NewCoordinator tracks deployments on eng and snapshots them to path.
@@ -101,13 +134,40 @@ func NewCoordinator(eng *stream.Engine, path string) *Coordinator {
 // Sharing). Set it before the first Deploy and keep it for the
 // coordinator's lifetime: a snapshot Saved with sharing enabled must
 // Restore with it enabled (and vice versa), so the coordinator-side
-// checkpoint sequence both compiles produce lines up. Shared chain
-// window state is not yet in snapshots — a restored query's shared
-// window starts empty and refills from live input (see ROADMAP).
+// checkpoint sequence both compiles produce lines up. Save captures each
+// shared chain's window state once per chain, and Restore rebuilds the
+// chains warm before re-attaching queries — a restored query sees
+// exactly the window (and the later expiry deletions) an uninterrupted
+// run would have.
 func (c *Coordinator) EnableSharing(s *Sharing) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.share = s
+}
+
+// SetRuntime describes the process a Restore compiles into: the sensor
+// engines it hosts, the stream engine's tick cadence, and the scheduler
+// clock. Fragment-carrying deployments need all three to recompile
+// (core.Config wires it automatically); a coordinator without it can
+// still restore pure stream deployments.
+func (c *Coordinator) SetRuntime(hosts *SensorHosts, tick time.Duration, now func() vtime.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hosts, c.tick, c.now = hosts, tick, now
+}
+
+// Fragments returns the sensor fragment specs a tracked deployment was
+// compiled with (after a Restore: the rehydrated specs). The caller runs
+// central epoch runners for every fragment not named in the deployment's
+// RemoteFragments.
+func (c *Coordinator) Fragments(name string) []SensorFragment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.deps[name]
+	if !ok {
+		return nil
+	}
+	return e.opts.Fragments
 }
 
 // Deploy compiles b under name and tracks it for snapshots. Names must be
@@ -207,7 +267,16 @@ func (c *Coordinator) Close() {
 // committed state a restarted coordinator resumes from; input pushed
 // after a Save and before a crash is lost to the restarted coordinator
 // (sources replay from their own cursors, as in the paper's model).
-func (c *Coordinator) Save() error {
+//
+// Fragment-carrying deployments are captured in full — the fragment
+// specs, which fragments ran remotely, and the runner states inside the
+// shard checkpoints — and shared prefix chains contribute their window
+// state once per chain. The returned slice names any deployment the
+// snapshot could NOT capture (today: one compiled against a foreign
+// Sharing registry this coordinator cannot rebuild); the names are also
+// recorded in the snapshot so Restore surfaces the same list. An empty
+// slice means the snapshot is complete.
+func (c *Coordinator) Save() ([]string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var f snapFile
@@ -218,22 +287,30 @@ func (c *Coordinator) Save() error {
 	sort.Strings(names)
 	for _, name := range names {
 		e := c.deps[name]
-		if len(e.dep.RemoteFragments) > 0 {
-			// Shard-hosted sensor fragments don't survive a coordinator
-			// restart (the documented contract for sensor work): their live
-			// engines and host registries aren't part of the durable state,
-			// so persisting the stream side alone would rehydrate a replica
-			// missing its fragment runners. Skip; re-run these queries.
+		if e.opts.Sharing != nil && e.opts.Sharing != c.share {
+			// Compiled against a Sharing registry that is not the
+			// coordinator's own: Restore compiles with c.share, so the
+			// chain attachments (and the checkpoint sequence they shape)
+			// could not be rebuilt. Record the skip — never drop silently.
+			f.Skipped = append(f.Skipped, name)
 			continue
 		}
 		root, err := encodeNode(e.built.Root)
 		if err != nil {
-			return fmt.Errorf("plan: snapshot %q: %w", name, err)
+			return nil, fmt.Errorf("plan: snapshot %q: %w", name, err)
+		}
+		var frags []snapFragment
+		for i := range e.opts.Fragments {
+			sf, err := encodeSnapFragment(&e.opts.Fragments[i])
+			if err != nil {
+				return nil, fmt.Errorf("plan: snapshot %q: %w", name, err)
+			}
+			frags = append(frags, sf)
 		}
 		e.dep.Flush()
 		shards, coord, err := e.dep.captureStates()
 		if err != nil {
-			return fmt.Errorf("plan: snapshot %q: %w", name, err)
+			return nil, fmt.Errorf("plan: snapshot %q: %w", name, err)
 		}
 		f.Deployments = append(f.Deployments, snapDeployment{
 			Name:            name,
@@ -250,11 +327,20 @@ func (c *Coordinator) Save() error {
 			Placement:       e.dep.Placement(),
 			Shards:          shards,
 			Coord:           coord,
+			Fragments:       frags,
+			RemoteFrags:     e.dep.RemoteFragments,
 		})
+	}
+	if c.share != nil {
+		chains, err := c.share.CaptureChains()
+		if err != nil {
+			return nil, err
+		}
+		f.Chains = chains
 	}
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(&f); err != nil {
-		return fmt.Errorf("plan: snapshot encode: %w", err)
+		return nil, fmt.Errorf("plan: snapshot encode: %w", err)
 	}
 	buf := make([]byte, 0, 16+body.Len())
 	buf = append(buf, snapMagic...)
@@ -262,48 +348,107 @@ func (c *Coordinator) Save() error {
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body.Bytes()))
 	buf = append(buf, body.Bytes()...)
 	tmp := c.path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("plan: snapshot write: %w", err)
+	if err := writeFileSync(tmp, buf); err != nil {
+		return nil, fmt.Errorf("plan: snapshot write: %w", err)
 	}
 	if err := os.Rename(tmp, c.path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("plan: snapshot commit: %w", err)
+		return nil, fmt.Errorf("plan: snapshot commit: %w", err)
+	}
+	if err := syncDir(filepath.Dir(c.path)); err != nil {
+		return nil, fmt.Errorf("plan: snapshot commit: %w", err)
+	}
+	return f.Skipped, nil
+}
+
+// writeFileSync writes data to path and fsyncs it before close, so the
+// bytes are durable before the commit rename makes them reachable.
+func writeFileSync(path string, data []byte) error {
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fh.Write(data); err != nil {
+		fh.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(path)
+		return err
 	}
 	return nil
 }
 
+// syncDir fsyncs a directory, making a just-renamed entry durable: the
+// rename itself lives in the directory, so without this a crash right
+// after Save could surface as a missing (or stale) snapshot file.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	fh, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return fh.Sync()
+}
+
 // Restore rehydrates the coordinator from its snapshot file: every
 // recorded deployment recompiles against the engine with its shards
-// pinned to the snapshotted placement and every operator restored from
-// the snapshotted state. A missing file is a fresh start (no error). Any
-// validation or compile failure leaves the coordinator empty but alive —
-// partially restored deployments are torn down, never half-served.
+// pinned to the snapshotted placement and every operator — shared chain
+// windows and fragment runners included — restored from the snapshotted
+// state. A missing file is a fresh start (no error). Any validation or
+// compile failure leaves the coordinator empty but alive — partially
+// restored deployments are torn down, never half-served.
+//
+// A fragment-carrying deployment whose snapshotted workers are absent at
+// restore time degrades instead of failing: first all shards pull
+// in-process with the fragments still pinned (exact state, needs this
+// process to host the sources — see SetRuntime), and as the last resort
+// the fragments fall back to central runners (the caller restarts them
+// from Fragments; the stream state still restores exactly). The returned
+// slice surfaces the names Save recorded as skipped — queries the
+// snapshot never captured, to be re-deployed by the operator.
 //
 // Restore does not replay table loads or input pushed after the snapshot;
 // callers re-attach sources, which resume from their own cursors.
-func (c *Coordinator) Restore() error {
+func (c *Coordinator) Restore() ([]string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.deps) != 0 {
-		return fmt.Errorf("plan: Restore on a coordinator with %d live deployments", len(c.deps))
+		return nil, fmt.Errorf("plan: Restore on a coordinator with %d live deployments", len(c.deps))
 	}
 	raw, err := os.ReadFile(c.path)
 	if os.IsNotExist(err) {
-		return nil
+		return nil, nil
 	}
 	if err != nil {
-		return fmt.Errorf("plan: snapshot read: %w", err)
+		return nil, fmt.Errorf("plan: snapshot read: %w", err)
 	}
 	f, err := decodeSnapshot(raw)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if len(f.Chains) > 0 && c.share == nil {
+		return nil, fmt.Errorf("plan: snapshot carries %d shared-chain states but sharing is not enabled (EnableSharing before Restore)", len(f.Chains))
+	}
+	if c.share != nil {
+		c.share.primeRestore(f.Chains)
+		defer c.share.finishRestore()
 	}
 	restored := map[string]*coordEntry{}
-	fail := func(err error) error {
+	fail := func(err error) ([]string, error) {
 		for _, e := range restored {
 			e.dep.Close()
 		}
-		return err
+		return nil, err
 	}
 	for _, sd := range f.Deployments {
 		root, err := decodeNode(sd.Root)
@@ -312,26 +457,86 @@ func (c *Coordinator) Restore() error {
 		}
 		b := &Built{Root: root, OrderBy: sd.OrderBy, Limit: sd.Limit,
 			Display: sd.Display, SamplePeriod: sd.SamplePeriod}
-		opts := CompileOptions{
-			Parallelism:     sd.Parallelism,
-			Nodes:           sd.Nodes,
-			Failover:        sd.Failover,
-			CheckpointEvery: sd.CheckpointEvery,
-			StallTimeout:    sd.StallTimeout,
-			Sharing:         c.share,
-			restoreShards:   sd.Shards,
-			restoreCoord:    sd.Coord,
-			restoreLoc:      sd.Placement,
+		var frags []SensorFragment
+		for _, sf := range sd.Fragments {
+			fr, err := decodeSnapFragment(sf)
+			if err != nil {
+				return fail(fmt.Errorf("plan: snapshot %q: %w", sd.Name, err))
+			}
+			frags = append(frags, fr)
 		}
-		dep, err := CompileStreamOpts(b, c.eng, opts)
+		opts := CompileOptions{
+			Parallelism:        sd.Parallelism,
+			Nodes:              sd.Nodes,
+			Failover:           sd.Failover,
+			CheckpointEvery:    sd.CheckpointEvery,
+			StallTimeout:       sd.StallTimeout,
+			Sharing:            c.share,
+			Fragments:          frags,
+			SensorHosts:        c.hosts,
+			TickPeriod:         c.tick,
+			restoreShards:      sd.Shards,
+			restoreCoord:       sd.Coord,
+			restoreLoc:         sd.Placement,
+			restoreForceFrags:  true,
+			restoreRemoteFrags: sd.RemoteFrags,
+		}
+		if c.now != nil {
+			opts.Now = c.now()
+		}
+		dep, err := c.rehydrate(b, opts, &sd)
 		if err != nil {
 			return fail(fmt.Errorf("plan: rehydrate %q: %w", sd.Name, err))
 		}
 		opts.restoreShards, opts.restoreCoord, opts.restoreLoc = nil, nil, nil
+		opts.restoreForceFrags, opts.restoreRemoteFrags = false, nil
 		restored[sd.Name] = &coordEntry{dep: dep, built: b, opts: opts}
 	}
 	c.deps = restored
-	return nil
+	return f.Skipped, nil
+}
+
+// rehydrate compiles one snapshotted deployment, degrading through the
+// documented fallbacks when the saved shape cannot come back: (1) as
+// saved; (2) every shard in-process, fragments still pinned remote-style
+// with exact runner state (workers gone, sources hosted here); (3) every
+// shard in-process with the fragment runner states trimmed off the shard
+// checkpoints — the fragments return to central runners rather than the
+// deployment being lost. The first error is the one reported when every
+// tier fails.
+func (c *Coordinator) rehydrate(b *Built, opts CompileOptions, sd *snapDeployment) (*Deployment, error) {
+	dep, err0 := CompileStreamOpts(b, c.eng, opts)
+	if err0 == nil {
+		return dep, nil
+	}
+	anyRemote := false
+	for _, h := range sd.Placement {
+		anyRemote = anyRemote || h != ""
+	}
+	if anyRemote {
+		home := opts
+		home.restoreLoc = make([]string, sd.Parallelism)
+		if dep, err := CompileStreamOpts(b, c.eng, home); err == nil {
+			return dep, nil
+		}
+	}
+	if len(sd.RemoteFrags) > 0 {
+		central := opts
+		central.restoreLoc = make([]string, sd.Parallelism)
+		central.restoreRemoteFrags = nil
+		central.restoreShards = make(map[int][]byte, len(sd.Shards))
+		for j, st := range sd.Shards {
+			trimmed, err := stream.TrimOpaqueTail(st, len(sd.RemoteFrags))
+			if err != nil {
+				return nil, err0
+			}
+			central.restoreShards[j] = trimmed
+		}
+		if dep, err := CompileStreamOpts(b, c.eng, central); err == nil {
+			return dep, nil
+		}
+	}
+	return nil, err0
 }
 
 // decodeSnapshot validates a snapshot file image and decodes its body.
@@ -342,8 +547,8 @@ func decodeSnapshot(raw []byte) (*snapFile, error) {
 	if string(raw[:8]) != snapMagic {
 		return nil, fmt.Errorf("plan: snapshot has bad magic %q", raw[:8])
 	}
-	if v := binary.LittleEndian.Uint32(raw[8:12]); v != snapVersion {
-		return nil, fmt.Errorf("plan: snapshot format version %d, this build reads %d", v, snapVersion)
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v < snapVersionMin || v > snapVersion {
+		return nil, fmt.Errorf("plan: snapshot format version %d, this build reads %d..%d", v, snapVersionMin, snapVersion)
 	}
 	body := raw[16:]
 	if sum := crc32.ChecksumIEEE(body); sum != binary.LittleEndian.Uint32(raw[12:16]) {

@@ -229,14 +229,14 @@ func TestCoordinatorSnapshotRestore(t *testing.T) {
 	}
 	half := len(evs) / 2
 	pushEvents(engA, evs, 0, half)
-	if err := coordA.Save(); err != nil {
+	if _, err := coordA.Save(); err != nil {
 		t.Fatalf("save: %v", err)
 	}
 	coordA.Close() // the restart: old deployments die with the old process
 
 	engB := stream.NewEngine("snap-b", vtime.NewScheduler())
 	coordB := NewCoordinator(engB, path)
-	if err := coordB.Restore(); err != nil {
+	if _, err := coordB.Restore(); err != nil {
 		t.Fatalf("restore: %v", err)
 	}
 	names := coordB.Names()
@@ -323,7 +323,7 @@ func TestSnapshotLoadFaults(t *testing.T) {
 	if _, err := coordA.Deploy("q", b, CompileOptions{Parallelism: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := coordA.Save(); err != nil {
+	if _, err := coordA.Save(); err != nil {
 		t.Fatal(err)
 	}
 	coordA.Close()
@@ -358,7 +358,7 @@ func TestSnapshotLoadFaults(t *testing.T) {
 			}
 			eng := stream.NewEngine("faults-"+tc.name, vtime.NewScheduler())
 			coord := NewCoordinator(eng, p)
-			if err := coord.Restore(); err == nil {
+			if _, err := coord.Restore(); err == nil {
 				t.Fatal("Restore of a damaged snapshot must fail")
 			}
 			if n := coord.Names(); len(n) != 0 {
@@ -368,7 +368,7 @@ func TestSnapshotLoadFaults(t *testing.T) {
 			if _, err := coord.Deploy("fresh", b, CompileOptions{}); err != nil {
 				t.Fatalf("coordinator unusable after failed restore: %v", err)
 			}
-			if err := coord.Save(); err != nil {
+			if _, err := coord.Save(); err != nil {
 				t.Fatalf("save after failed restore: %v", err)
 			}
 			coord.Close()
@@ -378,7 +378,7 @@ func TestSnapshotLoadFaults(t *testing.T) {
 	// A missing file is a fresh start, not an error.
 	eng := stream.NewEngine("faults-missing", vtime.NewScheduler())
 	coord := NewCoordinator(eng, filepath.Join(dir, "does-not-exist.snap"))
-	if err := coord.Restore(); err != nil {
+	if _, err := coord.Restore(); err != nil {
 		t.Fatalf("missing snapshot must be a fresh start: %v", err)
 	}
 	// Restore onto a non-empty coordinator is refused.
@@ -386,25 +386,29 @@ func TestSnapshotLoadFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	if err := coord.Restore(); err == nil {
+	if _, err := coord.Restore(); err == nil {
 		t.Fatal("Restore over live deployments must fail")
 	}
 }
 
 // randTopo draws a random placement for a rescale: nil (everything
 // in-process) or 1–3 slots over the alive workers, possibly mixing ""
-// (in-process) entries.
+// (in-process) entries. Workers are sampled without replacement —
+// ParseNodes rejects duplicate addresses as a config error.
 func randTopo(rng *rand.Rand, alive []string) []string {
 	if len(alive) == 0 || rng.Intn(4) == 0 {
 		return nil
 	}
+	perm := rng.Perm(len(alive))
 	n := 1 + rng.Intn(3)
-	topo := make([]string, n)
-	for i := range topo {
-		if rng.Intn(4) == 0 {
-			continue // "" keeps that slot in-process
+	topo := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 || len(perm) == 0 {
+			topo = append(topo, "") // "" keeps that slot in-process
+			continue
 		}
-		topo[i] = alive[rng.Intn(len(alive))]
+		topo = append(topo, alive[perm[0]])
+		perm = perm[1:]
 	}
 	return topo
 }
@@ -440,6 +444,7 @@ func runElasticDifferential(t *testing.T, seed int64, nPlans int, restart bool) 
 			path := filepath.Join(t.TempDir(), "coord.snap")
 			eng := stream.NewEngine(fmt.Sprintf("el%d-p%d", pi, p), vtime.NewScheduler())
 			coord := NewCoordinator(eng, path)
+			coord.EnableSharing(NewSharing(eng))
 			dep, err := coord.Deploy("q", b, CompileOptions{
 				Parallelism: p, Nodes: alive[:2], Failover: true,
 				CheckpointEvery: 1 + rng.Intn(3),
@@ -459,6 +464,16 @@ func runElasticDifferential(t *testing.T, seed int64, nPlans int, restart bool) 
 				continue // serial fallback: nothing elastic to exercise
 			}
 			sharded++
+			// Two serial deployments of the same plan ride along: with
+			// sharing enabled they run one prefix chain whenever the plan
+			// has a shareable prefix, so the restart also proves shared
+			// window state survives the snapshot (warm rebuild, no cold
+			// re-attach).
+			for _, sname := range []string{"s1", "s2"} {
+				if _, err := coord.Deploy(sname, b, CompileOptions{}); err != nil {
+					t.Fatalf("seed %d plan %d P=%d: serial ride-along %s: %v", seed, pi, p, sname, err)
+				}
+			}
 
 			// Random schedule: a handful of rescales, one kill, and (in
 			// restart mode) one coordinator restart, at distinct epochs.
@@ -485,14 +500,17 @@ func runElasticDifferential(t *testing.T, seed int64, nPlans int, restart bool) 
 						alive = append(alive[:victim], alive[victim+1:]...)
 					}
 				case "restart":
-					if err := coord.Save(); err != nil {
+					if _, err := coord.Save(); err != nil {
 						t.Fatalf("seed %d plan %d P=%d: save at event %d: %v", seed, pi, p, i, err)
 					}
 					coord.Close() // the old coordinator process dies
 					eng = stream.NewEngine(fmt.Sprintf("el%d-p%d-r", pi, p), vtime.NewScheduler())
 					coord = NewCoordinator(eng, path)
-					if err := coord.Restore(); err != nil {
+					coord.EnableSharing(NewSharing(eng))
+					if skipped, err := coord.Restore(); err != nil {
 						t.Fatalf("seed %d plan %d P=%d: restore at event %d: %v", seed, pi, p, i, err)
+					} else if len(skipped) != 0 {
+						t.Fatalf("seed %d plan %d P=%d: restore reported skipped deployments %v", seed, pi, p, skipped)
 					}
 					var ok bool
 					if dep, ok = coord.Deployment("q"); !ok {
@@ -509,6 +527,15 @@ func runElasticDifferential(t *testing.T, seed int64, nPlans int, restart bool) 
 				}
 			}
 			got := snapshotSorted(t, dep)
+			for _, sname := range []string{"s1", "s2"} {
+				sd, ok := coord.Deployment(sname)
+				if !ok {
+					t.Fatalf("seed %d plan %d P=%d: serial ride-along %s lost", seed, pi, p, sname)
+				}
+				requireEqualRows(t,
+					fmt.Sprintf("seed %d plan %d P=%d shared %s (restart=%v)\nplan: %s", seed, pi, p, sname, restart, root),
+					snapshotSorted(t, sd), want)
+			}
 			coord.Close()
 			requireEqualRows(t,
 				fmt.Sprintf("seed %d plan %d P=%d (restart=%v)\nplan: %s", seed, pi, p, restart, root),

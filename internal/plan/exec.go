@@ -158,7 +158,10 @@ func (d *Deployment) Rescale(nodes []string) error {
 	if d.set == nil {
 		return fmt.Errorf("plan: Rescale on a serial deployment (no shards to move)")
 	}
-	addrs, affinity := ParseNodes(nodes)
+	addrs, affinity, err := ParseNodes(nodes)
+	if err != nil {
+		return err
+	}
 	loc := placeShards(d.Shards, addrs, affinity, d.scanSources)
 	if err := d.set.Rescale(loc); err != nil {
 		return err
@@ -183,12 +186,27 @@ func (d *Deployment) Placement() []string {
 // declaring which raw sources that worker physically hosts. The returned
 // addrs keep the entry order (they are what gets dialed); affinity maps
 // each annotated address to its lowercased source list.
-func ParseNodes(nodes []string) (addrs []string, affinity map[string][]string) {
+//
+// Malformed lists are configuration errors, not silent degradations: an
+// affinity annotation without an address ("=sensors") would otherwise map
+// to the in-process worker with its affinity dropped, and a duplicate
+// address would double-weight one worker in placeShards.
+func ParseNodes(nodes []string) (addrs []string, affinity map[string][]string, err error) {
 	affinity = map[string][]string{}
 	addrs = make([]string, len(nodes))
+	seen := make(map[string]bool, len(nodes))
 	for i, n := range nodes {
 		addr, srcs, ok := strings.Cut(n, "=")
 		addrs[i] = addr
+		if ok && addr == "" {
+			return nil, nil, fmt.Errorf("plan: node entry %q declares a source affinity but no worker address", n)
+		}
+		if addr != "" {
+			if seen[addr] {
+				return nil, nil, fmt.Errorf("plan: duplicate worker address %q in node list", addr)
+			}
+			seen[addr] = true
+		}
 		if !ok || addr == "" {
 			continue
 		}
@@ -198,7 +216,7 @@ func ParseNodes(nodes []string) (addrs []string, affinity map[string][]string) {
 			}
 		}
 	}
-	return addrs, affinity
+	return addrs, affinity, nil
 }
 
 // placeShards applies the locality policy: shards round-robin over the
@@ -350,6 +368,15 @@ type CompileOptions struct {
 	// rule, so a rehydrated deployment lands its shards where their state
 	// last lived.
 	restoreLoc []string
+	// restoreForceFrags pins the fragment placement decision instead of
+	// re-deriving it: exactly the fragments named in restoreRemoteFrags
+	// deploy inside the shard replicas, in that order. Eligibility is
+	// time-dependent (epoch/tick alignment anchors at Now), so a restore
+	// must replay the snapshot's decision — the shard checkpoints carry one
+	// opaque runner state per remote fragment, and the checkpointer lists
+	// must match position for position.
+	restoreForceFrags  bool
+	restoreRemoteFrags []string
 }
 
 // CompileStream lowers a logical plan onto a stream engine serially; see
@@ -368,6 +395,11 @@ func CompileStreamOpts(b *Built, eng *stream.Engine, opts CompileOptions) (*Depl
 	if len(opts.Nodes) > 0 && opts.Parallelism < 2 {
 		return nil, fmt.Errorf("plan: a Nodes topology (%d workers) requires Parallelism >= 2, got %d",
 			len(opts.Nodes), opts.Parallelism)
+	}
+	// Validate the node list up front, on every path: serial fallbacks
+	// would otherwise carry a malformed list into a later Rescale.
+	if _, _, err := ParseNodes(opts.Nodes); err != nil {
+		return nil, err
 	}
 	if opts.Parallelism > 1 {
 		if strat, ok := analyzeShard(b.Root); ok {
@@ -388,8 +420,9 @@ func CompileStreamOpts(b *Built, eng *stream.Engine, opts CompileOptions) (*Depl
 		scanHead: func(x *Scan, head stream.Operator) error {
 			return attachScan(x, head, eng, dep)
 		},
-		share: opts.Sharing,
-		dep:   dep,
+		share:     opts.Sharing,
+		dep:       dep,
+		restoring: opts.restoreCoord != nil,
 	}
 	if err := c.compile(b.Root, sink); err != nil {
 		dep.Close() // detach whatever the partial compile already wired
@@ -536,7 +569,10 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 	// plan's sources, load-balanced over all workers otherwise ("" keeps a
 	// shard in-process). A rehydrating compile instead pins the placement
 	// the snapshot captured.
-	addrs, affinity := ParseNodes(nodes)
+	addrs, affinity, err := ParseNodes(nodes)
+	if err != nil {
+		return nil, err
+	}
 	loc := placeShards(p, addrs, affinity, scanSrcs)
 	if len(opts.restoreLoc) == p {
 		copy(loc, opts.restoreLoc)
@@ -553,7 +589,37 @@ func compileSharded(b *Built, eng *stream.Engine, opts CompileOptions, strat *sh
 	// remote shard home must declare affinity for them. Anything else
 	// stays a central runner.
 	var wireFrags []wireFragment
-	if anyRemote {
+	if opts.restoreForceFrags {
+		// A rehydrating compile replays the snapshot's fragment placement
+		// verbatim: eligibility is a function of the compile instant (epoch
+		// anchors, tick alignment) and of worker affinity, both of which may
+		// legitimately differ now — but the shard checkpoints were encoded
+		// against exactly the snapshot's runner list, so the same fragments
+		// must go remote in the same wire order.
+		for _, name := range opts.restoreRemoteFrags {
+			var f *SensorFragment
+			var sc *Scan
+			for cand, frag := range fragFor {
+				if strings.EqualFold(frag.Name, name) {
+					f, sc = frag, cand
+				}
+			}
+			if f == nil {
+				return nil, fmt.Errorf("plan: snapshot pins fragment %s remote, but the plan no longer carries it", name)
+			}
+			keyIdx, ok := fragmentKeyIdx(f, sc, strat.Keys[sc])
+			if !ok {
+				return nil, fmt.Errorf("plan: snapshot pins fragment %s remote, but its shard key is no longer node-determined", name)
+			}
+			i := scanIndex(scans, sc)
+			wf, err := encodeFragment(f, scanName(i), keyIdx, p, opts.Now.Add(f.period()))
+			if err != nil {
+				return nil, err
+			}
+			wireFrags = append(wireFrags, wf)
+			dep.RemoteFragments = append(dep.RemoteFragments, f.Name)
+		}
+	} else if anyRemote {
 		for _, sc := range scans {
 			f := fragFor[sc]
 			if f == nil {
@@ -810,9 +876,12 @@ type compiler struct {
 
 	// share and dep, when set (serial compiles with
 	// CompileOptions.Sharing), divert shareable prefixes onto the shared
-	// chain registry instead of compiling them privately.
-	share *Sharing
-	dep   *Deployment
+	// chain registry instead of compiling them privately. restoring marks
+	// a snapshot rehydration: shared attaches skip the warm-start replay
+	// because the restored suffix state already reflects the window.
+	share     *Sharing
+	dep       *Deployment
+	restoring bool
 
 	splitAgg   *Aggregate
 	finalMerge *stream.FinalMerge
@@ -830,7 +899,7 @@ func (c *compiler) compile(n Node, out stream.Operator) error {
 	// maximal shareable prefix: attach out to its shared chain and stop
 	// descending — the chain (not this deployment) owns those operators.
 	if c.share != nil {
-		if handled, err := c.share.tryAttach(n, out, c.dep); handled {
+		if handled, err := c.share.tryAttach(n, out, c.dep, c.restoring); handled {
 			return err
 		}
 	}

@@ -416,6 +416,103 @@ func (h *SensorHosts) buildFragRunners(frags []wireFragment, shard int, heads ma
 	return runners, nil
 }
 
+// snapFragment is the gob mirror of one SensorFragment inside a durable
+// coordinator snapshot. Like wireFragment, predicates travel as raw
+// expressions and re-bind at decode; unlike wireFragment it captures the
+// full CompileOptions.Fragments entry (not one shard's partition), so a
+// restored coordinator can both recompile the deployment and restart
+// central runners for fragments that cannot go remote anymore.
+type snapFragment struct {
+	Kind    fragKind
+	Name    string
+	Sources []string
+	Period  time.Duration
+
+	// fragSelect and the left side of fragJoin.
+	Rel    string
+	Sensor sensornet.SensorKind
+	Pred   expr.Expr
+
+	// fragJoin.
+	RRel      string
+	RSensor   sensornet.SensorKind
+	RPred     expr.Expr
+	On        expr.Expr
+	PairBy    sensor.PairBy
+	Radius    float64
+	Placement sensor.Placement
+
+	// fragAggregate.
+	AggFunc     sensor.AggFunc
+	GroupByRoom bool
+	Mode        sensor.AggMode
+}
+
+// encodeSnapFragment lowers one fragment spec to its snapshot mirror.
+func encodeSnapFragment(f *SensorFragment) (snapFragment, error) {
+	s := snapFragment{Name: f.Name, Sources: f.Sources}
+	switch {
+	case f.Select != nil:
+		q := f.Select
+		s.Kind, s.Rel, s.Sensor, s.Pred, s.Period = fragSelect, q.Rel, q.Sensor, exprSource(q.Pred), q.Period
+	case f.Join != nil:
+		q := f.Join
+		s.Kind, s.PairBy, s.Radius, s.Placement, s.Period = fragJoin, q.PairBy, q.Radius, q.Placement, q.Period
+		s.Rel, s.Sensor, s.Pred = q.Left.Rel, q.Left.Sensor, exprSource(q.Left.Pred)
+		s.RRel, s.RSensor, s.RPred = q.Right.Rel, q.Right.Sensor, exprSource(q.Right.Pred)
+		s.On = exprSource(q.On)
+	case f.Agg != nil:
+		q := f.Agg
+		s.Kind, s.Rel, s.Sensor, s.Pred, s.Period = fragAggregate, q.Rel, q.Sensor, exprSource(q.Pred), q.Period
+		s.AggFunc, s.GroupByRoom, s.Mode = q.Func, q.GroupByRoom, q.Mode
+	default:
+		return snapFragment{}, fmt.Errorf("plan: fragment %s has no query", f.Name)
+	}
+	return s, nil
+}
+
+// decodeSnapFragment rebuilds a fragment spec from its snapshot mirror,
+// re-binding predicates exactly as newFragRunner does worker-side.
+func decodeSnapFragment(s snapFragment) (SensorFragment, error) {
+	f := SensorFragment{Name: s.Name, Sources: s.Sources}
+	switch s.Kind {
+	case fragSelect:
+		pred, err := bindPred(s.Pred, sensor.ReadingSchema(s.Rel))
+		if err != nil {
+			return SensorFragment{}, err
+		}
+		f.Select = &sensor.SelectQuery{Rel: s.Rel, Sensor: s.Sensor, Pred: pred, Period: s.Period}
+	case fragAggregate:
+		pred, err := bindPred(s.Pred, sensor.ReadingSchema(s.Rel))
+		if err != nil {
+			return SensorFragment{}, err
+		}
+		f.Agg = &sensor.AggregateQuery{Rel: s.Rel, Sensor: s.Sensor, Pred: pred,
+			Func: s.AggFunc, GroupByRoom: s.GroupByRoom, Mode: s.Mode, Period: s.Period}
+	case fragJoin:
+		lPred, err := bindPred(s.Pred, sensor.ReadingSchema(s.Rel))
+		if err != nil {
+			return SensorFragment{}, err
+		}
+		rPred, err := bindPred(s.RPred, sensor.ReadingSchema(s.RRel))
+		if err != nil {
+			return SensorFragment{}, err
+		}
+		q := &sensor.JoinQuery{
+			Left:   sensor.JoinSide{Rel: s.Rel, Sensor: s.Sensor, Pred: lPred},
+			Right:  sensor.JoinSide{Rel: s.RRel, Sensor: s.RSensor, Pred: rPred},
+			PairBy: s.PairBy, Radius: s.Radius, Placement: s.Placement, Period: s.Period,
+		}
+		if q.On, err = bindPred(s.On, q.Schema()); err != nil {
+			return SensorFragment{}, err
+		}
+		f.Join = q
+	default:
+		return SensorFragment{}, fmt.Errorf("plan: unknown snapshot fragment kind %d", s.Kind)
+	}
+	return f, nil
+}
+
 // scanIndex is the plan-walk position of sc — the i of its scanName(i).
 func scanIndex(scans []*Scan, sc *Scan) int {
 	for i, s := range scans {

@@ -133,7 +133,10 @@ func TestCompileShardedRemoteFragmentDifferential(t *testing.T) {
 	if len(dep.RemoteFragments) != 1 || dep.RemoteFragments[0] != "LightFeed" {
 		t.Fatalf("RemoteFragments = %v, want [LightFeed]", dep.RemoteFragments)
 	}
-	addrs, affinity := ParseNodes(nodes)
+	addrs, affinity, err := ParseNodes(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
 	affine := map[string]bool{}
 	for _, a := range addrs {
 		for _, src := range affinity[a] {

@@ -6,12 +6,15 @@ import (
 )
 
 func TestParseNodes(t *testing.T) {
-	addrs, aff := ParseNodes([]string{
+	addrs, aff, err := ParseNodes([]string{
 		"127.0.0.1:7001=Light, Temperature",
 		"127.0.0.1:7002",
 		"127.0.0.1:7003=light",
 		"",
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantAddrs := []string{"127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003", ""}
 	if !reflect.DeepEqual(addrs, wantAddrs) {
 		t.Fatalf("addrs = %v, want %v", addrs, wantAddrs)

@@ -50,6 +50,12 @@ type Sharing struct {
 
 	mu     sync.Mutex
 	chains map[string]*sharedChain
+	// pending holds per-chain window states decoded from a coordinator
+	// snapshot, keyed by canonical chain key. ensureBase consumes an entry
+	// when it builds a fresh base chain during restore, so the rebuilt
+	// window resumes exactly where the saved one stopped. Entries never
+	// touch chains that already exist live.
+	pending map[string][]byte
 }
 
 // NewSharing creates an empty sharing registry over one engine. Pass it
@@ -99,6 +105,46 @@ func (s *Sharing) Chains() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.chains)
+}
+
+// CaptureChains snapshots the window state of every base chain, keyed by
+// the chain's canonical key. Derived layers (filter stacks) are stateless
+// and unwindowed base chains carry nothing replayable, so one entry per
+// windowed base chain captures all shared state — once per chain, however
+// many deployments share it. Callers must hold the engine quiescent (the
+// same contract as Coordinator.Save's checkpoint barrier).
+func (s *Sharing) CaptureChains() (map[string][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte, len(s.chains))
+	for key, ch := range s.chains {
+		if ch.parent != nil || ch.win == nil {
+			continue
+		}
+		st, err := stream.EncodeCheckpoint([]stream.Checkpointer{ch.win})
+		if err != nil {
+			return nil, fmt.Errorf("plan: capture shared chain %q: %w", key, err)
+		}
+		out[key] = st
+	}
+	return out, nil
+}
+
+// primeRestore stages snapshotted chain states for consumption by
+// ensureBase during a coordinator Restore. Pair with finishRestore.
+func (s *Sharing) primeRestore(states map[string][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = states
+}
+
+// finishRestore drops any staged chain states the restore did not consume
+// (chains whose deployments failed to rehydrate, or that were already
+// live).
+func (s *Sharing) finishRestore() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = nil
 }
 
 // shareablePrefix decomposes a subtree of the form Select*(Scan) over a
@@ -204,8 +250,10 @@ func canonExpr(e expr.Expr, s *data.Schema) (string, bool) {
 // reports handled=false when n is not a shareable prefix — the caller
 // compiles privately. On handled=true the subtree is fully wired (or err
 // is the compile error) and the attachment is recorded on dep for
-// release at Close.
-func (s *Sharing) tryAttach(n Node, out stream.Operator, dep *Deployment) (handled bool, err error) {
+// release at Close. restoring skips the warm-start catch-up: a suffix
+// whose state a coordinator snapshot is about to restore has already
+// seen the window's contents, so replaying them would double-count.
+func (s *Sharing) tryAttach(n Node, out stream.Operator, dep *Deployment, restoring bool) (handled bool, err error) {
 	scan, preds, ok := shareablePrefix(n)
 	if !ok {
 		return false, nil
@@ -241,8 +289,10 @@ func (s *Sharing) tryAttach(n Node, out stream.Operator, dep *Deployment) (handl
 	// the chain's predicates) into the suffix before subscribing it, so
 	// the shared window's future expiry deletions always match insertions
 	// the suffix has seen.
-	if rows := s.catchUp(ch); len(rows) > 0 {
-		stream.PushBatch(out, rows)
+	if !restoring {
+		if rows := s.catchUp(ch); len(rows) > 0 {
+			stream.PushBatch(out, rows)
+		}
 	}
 	ch.fan.Subscribe(out)
 	ch.refs++
@@ -270,6 +320,16 @@ func (s *Sharing) ensureBase(key string, scan *Scan) (*sharedChain, error) {
 	}
 	in.Subscribe(ch.head)
 	s.chains[key] = ch
+	if st, ok := s.pending[key]; ok {
+		delete(s.pending, key)
+		if ch.win != nil {
+			if err := stream.RestoreCheckpoint([]stream.Checkpointer{ch.win}, st); err != nil {
+				// Chain stays registered with refs == 0; the caller's
+				// gcLocked on the error path detaches it.
+				return nil, fmt.Errorf("plan: restore shared chain %q: %w", key, err)
+			}
+		}
+	}
 	return ch, nil
 }
 

@@ -426,13 +426,16 @@ func (a *App) machineAtLocked(room string, desk int) (machines.Machine, bool) {
 func (a *App) Rescale(nodes []string) error { return a.RT.Rescale(nodes) }
 
 // SaveSnapshot checkpoints every standing query to Options.SnapshotPath
-// at one consistency point (see core.Runtime.SaveSnapshot).
-func (a *App) SaveSnapshot() error { return a.RT.SaveSnapshot() }
+// at one consistency point (see core.Runtime.SaveSnapshot). The returned
+// names are queries the snapshot could not capture — warn the operator.
+func (a *App) SaveSnapshot() ([]string, error) { return a.RT.SaveSnapshot() }
 
 // RestoreSnapshot rehydrates the standing queries recorded in
-// Options.SnapshotPath onto this (fresh) deployment's runtime. Sensor
-// fragments do not survive a restart; re-run those queries.
-func (a *App) RestoreSnapshot() ([]*core.Query, error) { return a.RT.RestoreSnapshot() }
+// Options.SnapshotPath onto this (fresh) deployment's runtime, shared
+// window state and sensor fragment deployments included. The returned
+// names are queries the snapshot recorded as skipped at save time; they
+// must be re-run.
+func (a *App) RestoreSnapshot() ([]*core.Query, []string, error) { return a.RT.RestoreSnapshot() }
 
 // Close shuts down PDU servers and periodic work.
 func (a *App) Close() {
